@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestDest(t *testing.T) {
+	if dest("") != "stdout" || dest("x.tqc") != "x.tqc" {
+		t.Fatal("dest naming")
+	}
+}

@@ -1,0 +1,142 @@
+// Command tqecc compiles a quantum circuit to a compressed TQEC geometric
+// description and reports the per-stage statistics and the resulting
+// space-time volume.
+//
+// Usage:
+//
+//	tqecc -sample threecnot -mode full
+//	tqecc -in circuit.real -mode dual -effort high
+//	tqecc -bench 4gt10-v1_81 -skip-routing
+//	tqecc -text circuit.tqc -viz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tqec/internal/bench"
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+	"tqec/internal/revlib"
+)
+
+func main() {
+	var (
+		inReal      = flag.String("in", "", "RevLib .real circuit file")
+		inText      = flag.String("text", "", "plain-text gate-list circuit file")
+		sample      = flag.String("sample", "", "embedded sample name (threecnot, toffoli3, mixed4)")
+		benchName   = flag.String("bench", "", "synthetic Table-1 benchmark name")
+		mode        = flag.String("mode", "full", "compression mode: full | dual")
+		effort      = flag.String("effort", "fast", "optimization effort: fast | normal | high")
+		seed        = flag.Int64("seed", 1, "random seed for all stochastic stages")
+		skipRouting = flag.Bool("skip-routing", false, "stop after placement (fast, volume = placed volume)")
+		viz         = flag.Bool("viz", false, "dump ASCII layers of the compressed geometry")
+		measSide    = flag.Bool("im-measurement-side", false, "also I-shape-merge measurement-side control pairs")
+		jsonOut     = flag.String("json", "", "write a machine-readable result report to this file")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*inReal, *inText, *sample, *benchName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tqecc:", err)
+		os.Exit(1)
+	}
+	opt := compress.Options{
+		Seed:                  *seed,
+		SkipRouting:           *skipRouting,
+		KeepGeometry:          *viz,
+		MeasurementSideIShape: *measSide,
+	}
+	switch *mode {
+	case "full":
+		opt.Mode = compress.Full
+	case "dual":
+		opt.Mode = compress.DualOnly
+	default:
+		fmt.Fprintf(os.Stderr, "tqecc: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	switch *effort {
+	case "fast":
+		opt.Effort = compress.EffortFast
+	case "normal":
+		opt.Effort = compress.EffortNormal
+	case "high":
+		opt.Effort = compress.EffortHigh
+	default:
+		fmt.Fprintf(os.Stderr, "tqecc: unknown effort %q\n", *effort)
+		os.Exit(1)
+	}
+
+	res, err := compress.Compile(c, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tqecc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("circuit:   %s\n", c)
+	fmt.Printf("mode:      %s (effort %s, seed %d)\n", res.Mode, *effort, *seed)
+	fmt.Printf("canonical: %d\n", res.CanonicalVolume)
+	fmt.Printf("modules:   %d  ->  nodes: %d  (I-shape merges: %d)\n",
+		res.NumModules, res.NumNodes, res.IShapeMerges)
+	fmt.Printf("dual nets: %d  ->  components: %d\n", len(res.Graph.Nets), res.DualComponents)
+	fmt.Printf("placed:    %d (%d×%d×%d before routing)\n",
+		res.PlacedVolume, res.Placement.NX, res.Placement.NY, res.Placement.NZ)
+	if res.Routing != nil {
+		fmt.Printf("routed:    wirelength %d, overflow %d, failed %d\n",
+			res.Wirelength, res.RouteOverflow, res.RouteFailed)
+	}
+	fmt.Printf("volume:    %d  (%.1f%% of canonical, %.2fs)\n",
+		res.Volume, 100*float64(res.Volume)/float64(res.CanonicalVolume), res.Runtime.Seconds())
+	fmt.Printf("%s\n", res.AuditSchedule())
+	if *viz && res.Geometry != nil {
+		fmt.Println()
+		fmt.Print(res.Geometry.DumpLayers())
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqecc:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tqecc:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}
+
+func loadCircuit(inReal, inText, sample, benchName string, seed int64) (*circuit.Circuit, error) {
+	switch {
+	case inReal != "":
+		f, err := os.Open(inReal)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return revlib.Parse(f)
+	case inText != "":
+		f, err := os.Open(inText)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ParseText(f)
+	case sample != "":
+		src, ok := revlib.Samples[sample]
+		if !ok {
+			return nil, fmt.Errorf("unknown sample %q", sample)
+		}
+		return revlib.ParseString(src)
+	case benchName != "":
+		spec, ok := bench.ByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		return spec.Generate(seed)
+	default:
+		return nil, fmt.Errorf("need one of -in, -text, -sample, -bench")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCircuitSample(t *testing.T) {
+	c, err := loadCircuit("", "", "threecnot", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Width != 3 || len(c.Gates) != 3 {
+		t.Fatalf("shape: %v", c)
+	}
+	if _, err := loadCircuit("", "", "nope", "", 1); err == nil {
+		t.Fatal("unknown sample accepted")
+	}
+}
+
+func TestLoadCircuitBench(t *testing.T) {
+	c, err := loadCircuit("", "", "", "4gt10-v1_81", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCircuit("", "", "", "nope", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestLoadCircuitFiles(t *testing.T) {
+	dir := t.TempDir()
+	real := filepath.Join(dir, "c.real")
+	if err := os.WriteFile(real, []byte(".numvars 2\n.variables a b\n.begin\nt2 a b\n.end\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCircuit(real, "", "", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 {
+		t.Fatalf("gates: %v", c.Gates)
+	}
+	text := filepath.Join(dir, "c.tqc")
+	if err := os.WriteFile(text, []byte("qubits 2\ncnot 0 1\nt 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = loadCircuit("", text, "", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Fatalf("gates: %v", c.Gates)
+	}
+	if _, err := loadCircuit(filepath.Join(dir, "missing.real"), "", "", "", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadCircuit("", "", "", "", 1); err == nil {
+		t.Fatal("no input accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Baseline comparison on a paper benchmark: compiles the synthetic
+// 4gt10-v1_81 workload (Table 1) with the canonical form, the Lin et al.
+// TCAD'17 1-D/2-D layout synthesis, the dual-only bridging baseline of
+// Hsu et al. DAC'21, and the paper's full primal+dual bridging, then
+// prints the volume ladder with the published numbers alongside.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"time"
+
+	"tqec"
+	"tqec/internal/baseline/lin"
+	"tqec/internal/compress"
+)
+
+func main() {
+	spec, ok := tqec.BenchmarkByName("4gt10-v1_81")
+	if !ok {
+		log.Fatal("benchmark missing")
+	}
+	rep, c, err := spec.GenerateICM(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", c)
+	fmt.Printf("ICM stats: q=%d cnots=%d |Y>=%d |A>=%d (Table 1 row: %d/%d/%d/%d)\n\n",
+		rep.NumQubits(), len(rep.CNOTs), rep.NumY(), rep.NumA(),
+		spec.Qubits, spec.CNOTs, spec.Y, spec.A)
+
+	canonicalVol := tqec.CanonicalVolume(rep)
+	lin1 := must(lin.Synthesize(rep, lin.Arch1D))
+	lin2 := must(lin.Synthesize(rep, lin.Arch2D))
+
+	dual := compile(spec, compress.DualOnly)
+	full := compile(spec, compress.Full)
+
+	fmt.Printf("%-28s %10s %10s\n", "method", "volume", "paper")
+	fmt.Printf("%-28s %10d %10d\n", "canonical form", canonicalVol, spec.PaperCanonical)
+	fmt.Printf("%-28s %10d %10d\n", "Lin et al. [11] 1-D", lin1.Volume, spec.PaperLin1D)
+	fmt.Printf("%-28s %10d %10d\n", "Lin et al. [11] 2-D", lin2.Volume, spec.PaperLin2D)
+	fmt.Printf("%-28s %10d %10d\n", "Hsu et al. [10] dual-only", dual.Volume, spec.PaperHsu)
+	fmt.Printf("%-28s %10d %10d\n", "ours (primal+dual)", full.Volume, spec.PaperOurs)
+	fmt.Printf("\n[10]/ours ratio: measured %.3f, paper %.3f\n",
+		float64(dual.Volume)/float64(full.Volume),
+		float64(spec.PaperHsu)/float64(spec.PaperOurs))
+}
+
+func compile(spec tqec.Benchmark, mode compress.Mode) *compress.Result {
+	rep, _, err := spec.GenerateICM(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := compress.CompileICM(rep, spec.Name, compress.Options{
+		Mode: mode, Seed: 1, Effort: compress.EffortNormal, SkipRouting: true,
+	}, time.Time{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func must(r lin.Result, err error) lin.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

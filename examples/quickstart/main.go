@@ -1,0 +1,39 @@
+// Quickstart: build a small circuit, compress it with the full
+// primal+dual bridging pipeline, and print the resulting space-time
+// volume next to the canonical form.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tqec"
+)
+
+func main() {
+	// A toy entangling circuit: CNOT ladders with one T gate.
+	c := tqec.NewCircuit("quickstart", 5)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 4; i++ {
+			c.AppendNew(tqec.CNOT, i+1, i)
+		}
+	}
+	c.AppendNew(tqec.T, 4)
+	c.AppendNew(tqec.CNOT, 0, 4)
+
+	res, err := tqec.Compile(c, tqec.Options{
+		Mode:   tqec.Full,
+		Effort: tqec.EffortNormal,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("circuit:          ", c)
+	fmt.Println("canonical volume: ", res.CanonicalVolume)
+	fmt.Println("modules -> nodes: ", res.NumModules, "->", res.NumNodes)
+	fmt.Println("compressed volume:", res.Volume)
+	fmt.Printf("reduction:         %.1f×\n",
+		float64(res.CanonicalVolume)/float64(res.Volume))
+}

@@ -1,0 +1,62 @@
+// The paper's running example (Fig. 1): the three-CNOT circuit whose
+// canonical geometric description has volume 54 and compresses to 18 with
+// dual-only bridging and to 6 (2×1×3) with simultaneous primal and dual
+// bridging. This example walks through every pipeline stage and prints the
+// intermediate structures of Figs. 6, 10, 13 and 14.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tqec"
+)
+
+func main() {
+	c, err := tqec.ParseRealString(tqec.Samples["threecnot"])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := tqec.Compile(c, tqec.Options{
+		Mode: tqec.Full, Effort: tqec.EffortNormal, Seed: 1, KeepGeometry: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dual, err := tqec.Compile(c, tqec.Options{
+		Mode: tqec.DualOnly, Effort: tqec.EffortNormal, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deform, err := tqec.Compile(c, tqec.Options{
+		Mode: tqec.DeformOnly, Effort: tqec.EffortNormal, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Fig 6(d): the PD-graph data structure ===")
+	fmt.Print(full.Graph.Dump())
+
+	fmt.Println("\n=== Fig 10: I-shaped simplification ===")
+	fmt.Printf("merges: %d — groups after merging: %v\n",
+		full.IShapeMerges, full.Simplified.Groups())
+
+	fmt.Println("\n=== Fig 13: flipping-operation primal bridging ===")
+	fmt.Print(full.Primal.String())
+
+	fmt.Println("\n=== Fig 14: iterative dual bridging ===")
+	fmt.Print(full.Dual.String())
+
+	fmt.Println("\n=== Fig 1: the volume ladder ===")
+	fmt.Printf("(b) canonical:            %3d   (paper: 54)\n", full.CanonicalVolume)
+	fmt.Printf("(c) deformation only:     %3d   (paper: 32)\n", deform.Volume)
+	fmt.Printf("(d) dual-only bridging:   %3d   (paper: 18)\n", dual.PlacedVolume)
+	fmt.Printf("(e) primal+dual bridging: %3d   (paper:  6)\n", full.PlacedVolume)
+	fmt.Printf("    end-to-end w/ routing:%3d\n", full.Volume)
+
+	fmt.Println("\n=== compressed geometry, ASCII layers ===")
+	fmt.Print(full.Geometry.DumpLayers())
+}

@@ -1,0 +1,3 @@
+module tqec
+
+go 1.22

@@ -1,0 +1,109 @@
+// Package anneal provides the seeded simulated-annealing engine used by
+// the 2.5-D module placement stage (paper §3.5). It is deliberately
+// generic: problems expose a cost, an in-place perturbation with undo, and
+// snapshot/restore for best-solution tracking.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Problem is an annealable optimization state.
+type Problem interface {
+	// Cost evaluates the current state (lower is better).
+	Cost() float64
+	// Perturb applies a random move in place and returns an undo function.
+	// Returning a nil undo means the move was a no-op.
+	Perturb(rng *rand.Rand) (undo func())
+	// Snapshot captures the current state for later Restore.
+	Snapshot() any
+	// Restore reinstates a snapshot taken from the same problem.
+	Restore(snapshot any)
+}
+
+// Options tunes the annealing schedule. Zero values select defaults.
+type Options struct {
+	Seed         int64
+	InitialTemp  float64 // default: 0.3 × initial cost (classic rule of thumb)
+	FinalTemp    float64 // default: 1e-3 × InitialTemp
+	Cooling      float64 // geometric cooling factor in (0,1); default 0.93
+	MovesPerTemp int     // default: 40
+	MaxMoves     int     // hard move budget; default 50_000
+}
+
+func (o Options) withDefaults(initialCost float64) Options {
+	if o.InitialTemp <= 0 {
+		o.InitialTemp = 0.3*initialCost + 1
+	}
+	if o.FinalTemp <= 0 {
+		o.FinalTemp = o.InitialTemp * 1e-3
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.93
+	}
+	if o.MaxMoves <= 0 {
+		o.MaxMoves = 50_000
+	}
+	if o.MovesPerTemp <= 0 {
+		// Spread the move budget across the geometric schedule
+		// (≈ ln(final/initial)/ln(cooling) ≈ 95 temperature steps) so
+		// MaxMoves is the effective knob.
+		o.MovesPerTemp = o.MaxMoves/95 + 1
+	}
+	return o
+}
+
+// Result reports the annealing run.
+type Result struct {
+	InitialCost float64
+	BestCost    float64
+	Moves       int
+	Accepted    int
+	Uphill      int
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("anneal: %.1f -> %.1f in %d moves (%d accepted, %d uphill)",
+		r.InitialCost, r.BestCost, r.Moves, r.Accepted, r.Uphill)
+}
+
+// Run anneals the problem and leaves it in its best-found state.
+func Run(p Problem, opt Options) Result {
+	cur := p.Cost()
+	opt = opt.withDefaults(cur)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	res := Result{InitialCost: cur, BestCost: cur}
+	best := p.Snapshot()
+
+	for temp := opt.InitialTemp; temp > opt.FinalTemp && res.Moves < opt.MaxMoves; temp *= opt.Cooling {
+		for i := 0; i < opt.MovesPerTemp && res.Moves < opt.MaxMoves; i++ {
+			undo := p.Perturb(rng)
+			if undo == nil {
+				continue
+			}
+			res.Moves++
+			next := p.Cost()
+			delta := next - cur
+			accept := delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+			if !accept {
+				undo()
+				continue
+			}
+			res.Accepted++
+			if delta > 0 {
+				res.Uphill++
+			}
+			cur = next
+			if cur < res.BestCost {
+				res.BestCost = cur
+				best = p.Snapshot()
+			}
+		}
+	}
+	p.Restore(best)
+	return res
+}

@@ -1,0 +1,15 @@
+package anneal
+
+import "testing"
+
+// BenchmarkRunQuadratic measures the SA engine overhead per move on a
+// trivial cost function.
+func BenchmarkRunQuadratic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := &quadratic{x: []float64{9, -7, 3, 1}, target: []float64{0, 1, 2, 3}}
+		res := Run(q, Options{Seed: int64(i), MaxMoves: 3000})
+		if res.BestCost > res.InitialCost {
+			b.Fatal("regressed")
+		}
+	}
+}

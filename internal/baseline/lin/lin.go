@@ -1,0 +1,189 @@
+// Package lin re-implements the layout-synthesis baseline of Lin, Yu, Li
+// and Pan (TCAD'17), the paper's Table-2 comparison [11]: logical qubit
+// rails are arranged in a fixed 1-D row or 2-D grid, and the dual-defect
+// braid of every ICM CNOT is scheduled into discrete time steps such that
+// braids sharing routing channels never execute in the same step. The
+// approach compresses only along the time axis (the paper's critique), so
+// the space footprint stays canonical.
+//
+// Volume model (matching the canonical arithmetic of Table 2):
+//
+//	volume = 6 · #qubits · #steps + distillation boxes
+//
+// (#qubits as in Table 1: non-injection rails; injection rails live inside
+// their distillation boxes), which makes the structural ratio to the
+// canonical form exactly #CNOTs/#steps.
+package lin
+
+import (
+	"fmt"
+
+	"tqec/internal/canonical"
+	"tqec/internal/geom"
+	"tqec/internal/icm"
+)
+
+// Arch selects the qubit arrangement.
+type Arch int
+
+// Architectures of [11].
+const (
+	Arch1D Arch = iota
+	Arch2D
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	if a == Arch2D {
+		return "2d"
+	}
+	return "1d"
+}
+
+// Result is the synthesis outcome.
+type Result struct {
+	Arch   Arch
+	Steps  int // scheduled time steps
+	Rails  int
+	Volume int // 6·rails·steps + boxes
+}
+
+// String renders a summary.
+func (r Result) String() string {
+	return fmt.Sprintf("lin-%s: %d steps over %d rails, volume %d", r.Arch, r.Steps, r.Rails, r.Volume)
+}
+
+// region is the routing footprint of one braid in layout coordinates:
+// either a plain bounding box (1-D row channels) or, for the 2-D
+// architecture, the two channel segments of the L-shaped route — a
+// horizontal run in the control's row and a vertical run in the target's
+// column. Braids conflict when any of their channel segments overlap
+// (with a one-cell clearance, the defect separation rule).
+type region struct {
+	segs []segment
+}
+
+// segment is one channel run: horizontal (y fixed) or vertical (x fixed).
+type segment struct {
+	horizontal bool
+	at         int // the fixed coordinate (row y or column x)
+	lo, hi     int // extent along the run, inclusive
+}
+
+func (a segment) overlaps(b segment) bool {
+	if a.horizontal != b.horizontal {
+		// Perpendicular runs conflict when they cross or touch: the
+		// horizontal run passes the vertical one's column at its row.
+		h, v := a, b
+		if !h.horizontal {
+			h, v = b, a
+		}
+		return v.lo <= h.at && h.at <= v.hi && h.lo <= v.at && v.at <= h.hi
+	}
+	if a.at != b.at {
+		return false
+	}
+	return a.lo <= b.hi && b.lo <= a.hi
+}
+
+func (r region) overlaps(o region) bool {
+	for _, a := range r.segs {
+		for _, b := range o.segs {
+			if a.overlaps(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inflate widens every segment by the one-cell clearance.
+func (r region) inflate() region {
+	out := region{segs: make([]segment, len(r.segs))}
+	for i, s := range r.segs {
+		s.lo--
+		s.hi++
+		out.segs[i] = s
+	}
+	return out
+}
+
+// Synthesize schedules the ICM CNOTs of rep on the given architecture.
+func Synthesize(rep *icm.Rep, arch Arch) (Result, error) {
+	if err := rep.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(rep.Rails)
+	if n == 0 {
+		return Result{}, fmt.Errorf("lin: no rails")
+	}
+	// Fixed placement: row for 1-D, near-square grid for 2-D.
+	w := n
+	if arch == Arch2D {
+		w = 1
+		for w*w < n {
+			w++
+		}
+	}
+	pos := func(rail int) (x, y int) { return rail % w, rail / w }
+
+	// Braid routing region: the L-shaped route's channel segments — a
+	// horizontal run in the control's row from control to the target's
+	// column, and a vertical run in that column up to the target —
+	// inflated by the one-unit defect clearance.
+	footprint := func(c icm.CNOT) region {
+		cx, cy := pos(c.Control)
+		tx, ty := pos(c.Target)
+		r := region{segs: []segment{
+			{horizontal: true, at: cy, lo: min(cx, tx), hi: max(cx, tx)},
+			{horizontal: false, at: tx, lo: min(cy, ty), hi: max(cy, ty)},
+		}}
+		return r.inflate()
+	}
+
+	// Greedy step assignment honouring both rail dependencies (program
+	// order on a rail) and channel conflicts ([11] solves a maximum
+	// independent set per step; first-fit over the conflict structure is
+	// its standard greedy surrogate).
+	railReady := make([]int, n) // earliest step index a rail is free at
+	stepRegions := [][]region{}
+	steps := 0
+	for _, c := range rep.CNOTs {
+		r := footprint(c)
+		start := max(railReady[c.Control], railReady[c.Target])
+		assigned := -1
+		for s := start; s < len(stepRegions); s++ {
+			ok := true
+			for _, other := range stepRegions[s] {
+				if r.overlaps(other) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assigned = s
+				break
+			}
+		}
+		if assigned < 0 {
+			stepRegions = append(stepRegions, nil)
+			assigned = len(stepRegions) - 1
+		}
+		stepRegions[assigned] = append(stepRegions[assigned], r)
+		next := assigned + 1
+		railReady[c.Control] = next
+		railReady[c.Target] = next
+		if next > steps {
+			steps = next
+		}
+	}
+	vol := 6*rep.NumQubits()*steps +
+		geom.BoxY.Volume()*rep.NumY() +
+		geom.BoxA.Volume()*rep.NumA()
+	return Result{Arch: arch, Steps: steps, Rails: n, Volume: vol}, nil
+}
+
+// CanonicalRatio returns canonical volume divided by this result's volume.
+func (r Result) CanonicalRatio(rep *icm.Rep) float64 {
+	return float64(canonical.Volume(rep)) / float64(r.Volume)
+}

@@ -1,0 +1,168 @@
+package lin
+
+import (
+	"math/rand"
+	"testing"
+
+	"tqec/internal/canonical"
+	"tqec/internal/circuit"
+	"tqec/internal/decompose"
+	"tqec/internal/icm"
+	"tqec/internal/revlib"
+)
+
+func repOf(t *testing.T, c *circuit.Circuit) *icm.Rep {
+	t.Helper()
+	res, err := decompose.ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := icm.FromCliffordT(res.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSingleCNOT(t *testing.T) {
+	c := circuit.New("one", 2)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	rep := repOf(t, c)
+	r, err := Synthesize(rep, Arch1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 1 || r.Rails != 2 {
+		t.Fatalf("result: %+v", r)
+	}
+	if r.Volume != 6*2*1 {
+		t.Fatalf("volume = %d", r.Volume)
+	}
+}
+
+func TestDependentCNOTsSerialize(t *testing.T) {
+	// Three CNOTs all touching rail 0 must take three steps.
+	c := circuit.New("chain", 4)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.CNOT, 2, 0)
+	c.AppendNew(circuit.CNOT, 3, 0)
+	rep := repOf(t, c)
+	r, err := Synthesize(rep, Arch1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", r.Steps)
+	}
+}
+
+func TestIndependentCNOTsShareSteps1D(t *testing.T) {
+	// Disjoint pairs whose inflated channels (one-unit clearance) stay
+	// disjoint fit one step.
+	c := circuit.New("par", 10)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.CNOT, 5, 4)
+	c.AppendNew(circuit.CNOT, 9, 8)
+	rep := repOf(t, c)
+	r, err := Synthesize(rep, Arch1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 1 {
+		t.Fatalf("steps = %d, want 1", r.Steps)
+	}
+}
+
+func TestChannelConflict1D(t *testing.T) {
+	// Overlapping channels (0-3 and 1-2) conflict in 1-D even though the
+	// rails are disjoint.
+	c := circuit.New("conflict", 4)
+	c.AppendNew(circuit.CNOT, 3, 0)
+	c.AppendNew(circuit.CNOT, 2, 1)
+	rep := repOf(t, c)
+	r, err := Synthesize(rep, Arch1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 2 {
+		t.Fatalf("steps = %d, want 2", r.Steps)
+	}
+}
+
+func Test2DBeatsOrTies1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.Random(rng, 8, 40)
+		rep := repOf(t, c)
+		r1, err := Synthesize(rep, Arch1D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Synthesize(rep, Arch2D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Steps > r1.Steps {
+			t.Fatalf("trial %d: 2-D (%d steps) worse than 1-D (%d)", trial, r2.Steps, r1.Steps)
+		}
+		if r2.Volume > r1.Volume {
+			t.Fatalf("trial %d: 2-D volume above 1-D", trial)
+		}
+	}
+}
+
+func TestBeatsCanonicalLosesToNothingWeird(t *testing.T) {
+	threecnot, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repOf(t, threecnot)
+	for _, arch := range []Arch{Arch1D, Arch2D} {
+		r, err := Synthesize(rep, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Volume > canonical.Volume(rep) {
+			t.Fatalf("%v volume %d above canonical %d", arch, r.Volume, canonical.Volume(rep))
+		}
+		if r.CanonicalRatio(rep) < 1 {
+			t.Fatalf("ratio below 1: %f", r.CanonicalRatio(rep))
+		}
+	}
+}
+
+func TestTimeOrderedGadgetsRespectRailOrder(t *testing.T) {
+	c := circuit.New("tt", 1)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.T, 0)
+	rep := repOf(t, c)
+	r, err := Synthesize(rep, Arch2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two chained gadgets: at least 4 serialized steps through the shared
+	// work rail.
+	if r.Steps < 4 {
+		t.Fatalf("steps = %d, want ≥ 4", r.Steps)
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if Arch1D.String() != "1d" || Arch2D.String() != "2d" {
+		t.Fatal("names")
+	}
+	if (Result{Arch: Arch1D, Steps: 1, Rails: 2, Volume: 12}).String() == "" {
+		t.Fatal("summary")
+	}
+}
+
+func TestRejectsInvalid(t *testing.T) {
+	bad := &icm.Rep{Rails: []icm.Rail{{ID: 0}}, CNOTs: []icm.CNOT{{Control: 0, Target: 0}}}
+	if _, err := Synthesize(bad, Arch1D); err == nil {
+		t.Fatal("invalid ICM accepted")
+	}
+	empty := &icm.Rep{}
+	if _, err := Synthesize(empty, Arch1D); err == nil {
+		t.Fatal("empty ICM accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable1 renders the measured benchmark statistics against the
+// published Table-1 columns.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: benchmark statistics (measured vs paper)\n")
+	fmt.Fprintf(&sb, "%-15s %8s %8s %6s %6s | %9s %9s | %8s %8s\n",
+		"Benchmark", "#Qubits", "#CNOTs", "#|Y>", "#|A>", "#Modules", "(paper)", "#Nodes", "(paper)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %8d %8d %6d %6d | %9d %9d | %8d %8d\n",
+			r.Name, r.Qubits, r.CNOTs, r.Y, r.A,
+			r.Modules, r.PaperModules, r.Nodes, r.PaperNodes)
+	}
+	return sb.String()
+}
+
+// FormatTable2 renders the canonical / Lin volumes with the published
+// values and the ratio columns of the paper (ratios are relative to the
+// measured full-pipeline volume when supplied via ours, else omitted).
+func FormatTable2(rows []Table2Row, ours map[string]int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: space-time volume of canonical form and Lin et al. [11]\n")
+	fmt.Fprintf(&sb, "%-15s %12s %12s %12s %12s %12s %12s",
+		"Benchmark", "Canonical", "(paper)", "[11] 1D", "(paper)", "[11] 2D", "(paper)")
+	if ours != nil {
+		fmt.Fprintf(&sb, " %8s %8s %8s", "r(can)", "r(1D)", "r(2D)")
+	}
+	sb.WriteByte('\n')
+	var sumC, sum1, sum2 float64
+	n := 0
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %12d %12d %12d %12d %12d %12d",
+			r.Name, r.Canonical, r.PaperCanonical,
+			r.Lin1D, r.PaperLin1D, r.Lin2D, r.PaperLin2D)
+		if ours != nil {
+			if v, ok := ours[r.Name]; ok && v > 0 {
+				rc := float64(r.Canonical) / float64(v)
+				r1 := float64(r.Lin1D) / float64(v)
+				r2 := float64(r.Lin2D) / float64(v)
+				fmt.Fprintf(&sb, " %8.3f %8.3f %8.3f", rc, r1, r2)
+				sumC, sum1, sum2, n = sumC+rc, sum1+r1, sum2+r2, n+1
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "%-15s %12s %12s %12s %12s %12s %12s %8.3f %8.3f %8.3f\n",
+			"Avg. Ratio", "", "", "", "", "", "",
+			sumC/float64(n), sum1/float64(n), sum2/float64(n))
+		fmt.Fprintf(&sb, "(paper avg ratios: canonical 24.037, 1D 13.876, 2D 12.778)\n")
+	}
+	return sb.String()
+}
+
+// FormatTable3 renders the dual-only vs full comparison with published
+// values.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 3: space-time volume of [10] (dual-only) vs ours (primal+dual)\n")
+	fmt.Fprintf(&sb, "%-15s %10s %10s %7s | %10s %10s %7s | %8s %8s\n",
+		"Benchmark", "[10] vol", "(paper)", "t(s)", "Ours vol", "(paper)", "t(s)", "Ratio", "(paper)")
+	var sum, paperSum float64
+	for _, r := range rows {
+		paperRatio := 0.0
+		if r.PaperOurs > 0 {
+			paperRatio = float64(r.PaperHsu) / float64(r.PaperOurs)
+		}
+		fmt.Fprintf(&sb, "%-15s %10d %10d %7.1f | %10d %10d %7.1f | %8.3f %8.3f\n",
+			r.Name, r.Hsu, r.PaperHsu, r.HsuTime.Seconds(),
+			r.Ours, r.PaperOurs, r.OursTime.Seconds(), r.Ratio, paperRatio)
+		sum += r.Ratio
+		paperSum += paperRatio
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&sb, "%-15s %10s %10s %7s | %10s %10s %7s | %8.3f %8.3f\n",
+			"Avg. Ratio", "", "", "", "", "", "",
+			sum/float64(len(rows)), paperSum/float64(len(rows)))
+	}
+	return sb.String()
+}
+
+// FormatFig1 renders the Fig. 1 ladder.
+func FormatFig1(r Fig1Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 1: three-CNOT example volume ladder (measured vs paper)\n")
+	fmt.Fprintf(&sb, "  (b) canonical form:             %4d  (paper 54)\n", r.Canonical)
+	fmt.Fprintf(&sb, "  (c) topological deformation:    %4d  (paper 32)\n", r.Deformed)
+	fmt.Fprintf(&sb, "      (no-bridging pipeline run:  %4d)\n", r.DeformOnly)
+	fmt.Fprintf(&sb, "  (d) dual-only bridging [10]:    %4d  (paper 18)\n", r.DualOnly)
+	fmt.Fprintf(&sb, "  (e) primal+dual bridging, ours: %4d  (paper  6)\n", r.Full)
+	fmt.Fprintf(&sb, "      end-to-end incl. routing:   %4d\n", r.FullRouted)
+	return sb.String()
+}

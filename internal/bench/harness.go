@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tqec/internal/baseline/lin"
+	"tqec/internal/bridge"
+	"tqec/internal/canonical"
+	"tqec/internal/compress"
+	deformpkg "tqec/internal/deform"
+	"tqec/internal/pdgraph"
+	"tqec/internal/revlib"
+	"tqec/internal/simplify"
+)
+
+// Table1Row reproduces one row of Table 1 (benchmark statistics).
+type Table1Row struct {
+	Spec
+	Modules int // measured PD-graph modules
+	Nodes   int // measured B*-tree nodes after primal bridging
+}
+
+// RunTable1 regenerates the benchmark-statistics table: the synthetic
+// circuits' post-decomposition counts, the PD-graph module count, and the
+// node count after I-shaped simplification plus primal bridging.
+func RunTable1(specs []Spec, seed int64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, s := range specs {
+		rep, _, err := s.GenerateICM(seed)
+		if err != nil {
+			return nil, err
+		}
+		g, err := pdgraph.New(rep)
+		if err != nil {
+			return nil, err
+		}
+		simp := simplify.Run(g, simplify.Options{})
+		p := bridge.Primal(simp, nil)
+		rows = append(rows, Table1Row{Spec: s, Modules: g.NumModules(), Nodes: p.NumNodes()})
+	}
+	return rows, nil
+}
+
+// Table2Row reproduces one row of Table 2 (canonical and Lin volumes).
+type Table2Row struct {
+	Spec
+	Canonical int
+	Lin1D     int
+	Lin2D     int
+	Steps1D   int
+	Steps2D   int
+}
+
+// RunTable2 regenerates the canonical / Lin-1D / Lin-2D volume table.
+func RunTable2(specs []Spec, seed int64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, s := range specs {
+		rep, _, err := s.GenerateICM(seed)
+		if err != nil {
+			return nil, err
+		}
+		r1, err := lin.Synthesize(rep, lin.Arch1D)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := lin.Synthesize(rep, lin.Arch2D)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Spec:      s,
+			Canonical: canonical.Volume(rep),
+			Lin1D:     r1.Volume, Lin2D: r2.Volume,
+			Steps1D: r1.Steps, Steps2D: r2.Steps,
+		})
+	}
+	return rows, nil
+}
+
+// Table3Row reproduces one row of Table 3 ([10] dual-only vs. ours).
+type Table3Row struct {
+	Spec
+	Hsu      int // dual-only bridging volume
+	Ours     int // full primal+dual bridging volume
+	Ratio    float64
+	HsuTime  time.Duration
+	OursTime time.Duration
+	HsuNodes int
+	OurNodes int
+}
+
+// Table3Options tunes the expensive compression sweep.
+type Table3Options struct {
+	Seed        int64
+	Effort      compress.Effort
+	SkipRouting bool
+}
+
+// RunTable3 runs the full compression pipeline in both modes per spec.
+func RunTable3(specs []Spec, opt Table3Options) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, s := range specs {
+		rep, _, err := s.GenerateICM(opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		hsu, err := compress.CompileICM(rep, s.Name, compress.Options{
+			Mode: compress.DualOnly, Seed: opt.Seed, Effort: opt.Effort, SkipRouting: opt.SkipRouting,
+		}, time.Time{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s dual-only: %w", s.Name, err)
+		}
+		// Rebuild the ICM so both modes start from identical state.
+		rep2, _, err := s.GenerateICM(opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ours, err := compress.CompileICM(rep2, s.Name, compress.Options{
+			Mode: compress.Full, Seed: opt.Seed, Effort: opt.Effort, SkipRouting: opt.SkipRouting,
+		}, time.Time{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s full: %w", s.Name, err)
+		}
+		row := Table3Row{
+			Spec:     s,
+			Hsu:      hsu.Volume,
+			Ours:     ours.Volume,
+			HsuTime:  hsu.Runtime,
+			OursTime: ours.Runtime,
+			HsuNodes: hsu.NumNodes,
+			OurNodes: ours.NumNodes,
+		}
+		if ours.Volume > 0 {
+			row.Ratio = float64(hsu.Volume) / float64(ours.Volume)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig1Result reproduces the paper's Fig. 1 volume ladder on the 3-CNOT
+// running example.
+type Fig1Result struct {
+	Canonical  int // Fig 1(b): 54
+	Deformed   int // Fig 1(c): 32 — geometric topological deformation
+	DeformOnly int // no-bridging pipeline run (placement-based)
+	DualOnly   int // Fig 1(d): 18 after dual-only bridging
+	Full       int // Fig 1(e): 6 after primal+dual bridging
+	FullRouted int // end-to-end volume including routed dual defects
+}
+
+// RunFig1 compiles the 3-CNOT example in every mode of the ladder.
+func RunFig1(seed int64) (Fig1Result, error) {
+	c, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	full, err := compress.Compile(c, compress.Options{
+		Mode: compress.Full, Seed: seed, Effort: compress.EffortNormal,
+	})
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	dual, err := compress.Compile(c, compress.Options{
+		Mode: compress.DualOnly, Seed: seed, Effort: compress.EffortNormal,
+	})
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	deform, err := compress.Compile(c, compress.Options{
+		Mode: compress.DeformOnly, Seed: seed, Effort: compress.EffortNormal,
+	})
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	geoDeform, err := deformpkg.TimeCompact(full.ICM)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{
+		Canonical:  full.CanonicalVolume,
+		Deformed:   geoDeform.Volume(),
+		DeformOnly: deform.Volume,
+		DualOnly:   dual.PlacedVolume,
+		Full:       full.PlacedVolume,
+		FullRouted: full.Volume,
+	}, nil
+}

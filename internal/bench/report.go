@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is the machine-readable record of a reproduction run, suitable
+// for archiving next to EXPERIMENTS.md.
+type Report struct {
+	Version int          `json:"version"`
+	Seed    int64        `json:"seed"`
+	Fig1    *Fig1Result  `json:"fig1,omitempty"`
+	Table1  []Table1JSON `json:"table1,omitempty"`
+	Table2  []Table2JSON `json:"table2,omitempty"`
+	Table3  []Table3JSON `json:"table3,omitempty"`
+}
+
+// Table1JSON is the serialized form of a Table-1 row.
+type Table1JSON struct {
+	Name         string `json:"name"`
+	Qubits       int    `json:"qubits"`
+	CNOTs        int    `json:"cnots"`
+	Y            int    `json:"y"`
+	A            int    `json:"a"`
+	Modules      int    `json:"modules"`
+	Nodes        int    `json:"nodes"`
+	PaperModules int    `json:"paper_modules"`
+	PaperNodes   int    `json:"paper_nodes"`
+}
+
+// Table2JSON is the serialized form of a Table-2 row.
+type Table2JSON struct {
+	Name           string `json:"name"`
+	Canonical      int    `json:"canonical"`
+	Lin1D          int    `json:"lin1d"`
+	Lin2D          int    `json:"lin2d"`
+	PaperCanonical int    `json:"paper_canonical"`
+	PaperLin1D     int    `json:"paper_lin1d"`
+	PaperLin2D     int    `json:"paper_lin2d"`
+}
+
+// Table3JSON is the serialized form of a Table-3 row.
+type Table3JSON struct {
+	Name       string  `json:"name"`
+	Hsu        int     `json:"dual_only"`
+	Ours       int     `json:"ours"`
+	Ratio      float64 `json:"ratio"`
+	PaperHsu   int     `json:"paper_dual_only"`
+	PaperOurs  int     `json:"paper_ours"`
+	PaperRatio float64 `json:"paper_ratio"`
+	HsuSecs    float64 `json:"dual_only_seconds"`
+	OursSecs   float64 `json:"ours_seconds"`
+}
+
+// BuildReport assembles a report from harness rows (any slice may be nil).
+func BuildReport(seed int64, fig1 *Fig1Result, t1 []Table1Row, t2 []Table2Row, t3 []Table3Row) Report {
+	rep := Report{Version: 1, Seed: seed, Fig1: fig1}
+	for _, r := range t1 {
+		rep.Table1 = append(rep.Table1, Table1JSON{
+			Name: r.Name, Qubits: r.Qubits, CNOTs: r.CNOTs, Y: r.Y, A: r.A,
+			Modules: r.Modules, Nodes: r.Nodes,
+			PaperModules: r.PaperModules, PaperNodes: r.PaperNodes,
+		})
+	}
+	for _, r := range t2 {
+		rep.Table2 = append(rep.Table2, Table2JSON{
+			Name: r.Name, Canonical: r.Canonical, Lin1D: r.Lin1D, Lin2D: r.Lin2D,
+			PaperCanonical: r.PaperCanonical, PaperLin1D: r.PaperLin1D, PaperLin2D: r.PaperLin2D,
+		})
+	}
+	for _, r := range t3 {
+		pr := 0.0
+		if r.PaperOurs > 0 {
+			pr = float64(r.PaperHsu) / float64(r.PaperOurs)
+		}
+		rep.Table3 = append(rep.Table3, Table3JSON{
+			Name: r.Name, Hsu: r.Hsu, Ours: r.Ours, Ratio: r.Ratio,
+			PaperHsu: r.PaperHsu, PaperOurs: r.PaperOurs, PaperRatio: pr,
+			HsuSecs:  r.HsuTime.Round(time.Millisecond).Seconds(),
+			OursSecs: r.OursTime.Round(time.Millisecond).Seconds(),
+		})
+	}
+	return rep
+}
+
+// WriteJSON serializes the report.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}

@@ -1,0 +1,312 @@
+package bridge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tqec/internal/circuit"
+	"tqec/internal/decompose"
+	"tqec/internal/icm"
+	"tqec/internal/pdgraph"
+	"tqec/internal/revlib"
+	"tqec/internal/simplify"
+)
+
+func simplified(t *testing.T, c *circuit.Circuit, opt simplify.Options) *simplify.Result {
+	t.Helper()
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pdgraph.New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return simplify.Run(g, opt)
+}
+
+func threeCNOT(t *testing.T, opt simplify.Options) *simplify.Result {
+	t.Helper()
+	c, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return simplified(t, c, opt)
+}
+
+// TestFig13Chain reproduces the paper's Fig. 13: the greedy traversal
+// starting at the p0p1 group visits p2(p5) and then p3p4, forming one
+// chain of all three groups.
+func TestFig13Chain(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{})
+	p := Primal(r, nil) // deterministic start at lowest group = {m0,m3} = p0p1
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chains) != 1 {
+		t.Fatalf("chains = %v, want single chain", p.Chains)
+	}
+	// Group representatives: {m0,m3}→0, {m1,m5}→1, {m2,m4}→2.
+	if got := p.Chains[0]; !reflect.DeepEqual(got, Chain{0, 1, 2}) {
+		t.Fatalf("chain = %v, want [0 1 2] (p0p1 → p2 → p3p4)", got)
+	}
+	if p.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", p.NumNodes())
+	}
+	chain, idx, ok := p.ChainOf(1)
+	if !ok || chain != 0 || idx != 1 {
+		t.Fatalf("ChainOf(1) = %d,%d,%v", chain, idx, ok)
+	}
+	if _, _, ok := p.ChainOf(99); ok {
+		t.Fatal("unknown group resolved")
+	}
+}
+
+func TestPrimalRandomStartStillValid(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{})
+	for seed := int64(0); seed < 10; seed++ {
+		p := Primal(r, rand.New(rand.NewSource(seed)))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The 3-CNOT PD graph is a path, so any start yields ≤2 chains.
+		if len(p.Chains) > 2 {
+			t.Fatalf("seed %d: chains = %v", seed, p.Chains)
+		}
+	}
+}
+
+func TestPrimalCoversIsolatedGroups(t *testing.T) {
+	// A circuit with an untouched rail: its group has no nets and must
+	// appear as a singleton chain.
+	c := circuit.New("iso", 3)
+	c.AppendNew(circuit.CNOT, 1, 0) // rail 2 isolated
+	r := simplified(t, c, simplify.Options{})
+	p := Primal(r, nil)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, chain := range p.Chains {
+		if len(chain) == 1 && chain[0] == r.GroupOf(2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("isolated group missing: %v", p.Chains)
+	}
+}
+
+func TestPrimalReducesNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := circuit.Random(rng, 5, 30)
+	res, err := decompose.ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := simplified(t, res.Circuit, simplify.Options{MeasurementSide: true})
+	p := Primal(r, nil)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() >= len(r.Graph.Modules) {
+		t.Fatalf("no reduction: %d nodes for %d modules", p.NumNodes(), len(r.Graph.Modules))
+	}
+	if p.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestFig14DualBridging reproduces §3.4 on the 3-CNOT case: d0 and d1
+// bridge in the residual p2 part; d2 stays separate.
+func TestFig14DualBridging(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{})
+	d := Dual(r)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.SameComponent(0, 1) {
+		t.Fatal("d0 and d1 must bridge at p2")
+	}
+	if d.SameComponent(0, 2) || d.SameComponent(1, 2) {
+		t.Fatal("d2 must stay separate (split p1)")
+	}
+	if d.NumComponents() != 2 || d.NumBridges() != 1 {
+		t.Fatalf("components=%d bridges=%d, want 2/1", d.NumComponents(), d.NumBridges())
+	}
+	if d.Bridges[0].Part != 1 { // residual module m1 = paper's p2
+		t.Fatalf("bridge part = %d, want 1", d.Bridges[0].Part)
+	}
+	comps := d.Components()
+	if !reflect.DeepEqual(comps, [][]int{{0, 1}, {2}}) {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+// TestDualOnlyBaselineMergesAll shows the Hsu-et-al. behaviour: without
+// the I-shape split, all three nets share raw modules and merge into one
+// component.
+func TestDualOnlyBaselineMergesAll(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{Disabled: true})
+	d := Dual(r)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", d.NumComponents())
+	}
+	if d.NumBridges() != 2 {
+		t.Fatalf("bridges = %d, want 2 (no extra loop)", d.NumBridges())
+	}
+}
+
+func TestDualNoExtraLoop(t *testing.T) {
+	// Two nets sharing two modules must bridge exactly once.
+	c := circuit.New("loop", 2)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	r := simplified(t, c, simplify.Options{Disabled: true})
+	d := Dual(r)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBridges() != 1 {
+		t.Fatalf("bridges = %d, want 1", d.NumBridges())
+	}
+}
+
+func TestDualRespectsInterTOrdering(t *testing.T) {
+	// Two T gadgets on one qubit: their nets share the qubit's rail
+	// modules but carry an inter-T ordering and must not merge.
+	c := circuit.New("tt", 1)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.T, 0)
+	r := simplified(t, c, simplify.Options{Disabled: true})
+	d := Dual(r)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := r.Graph
+	for _, ci := range d.Components() {
+		for i := 0; i < len(ci); i++ {
+			for j := i + 1; j < len(ci); j++ {
+				a, b := g.Nets[ci[i]], g.Nets[ci[j]]
+				if g.GadgetOrderedBefore(a, b) || g.GadgetOrderedBefore(b, a) {
+					t.Fatalf("ordered nets %d,%d merged", ci[i], ci[j])
+				}
+			}
+		}
+	}
+}
+
+func TestComponentParts(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{})
+	d := Dual(r)
+	parts := d.ComponentParts(0)
+	// Component {d0,d1}: bridge(d0), bridge(d1), residual p2.
+	if len(parts) != 3 {
+		t.Fatalf("component parts = %v", parts)
+	}
+	has := func(p int) bool {
+		for _, x := range parts {
+			if x == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(1) {
+		t.Fatalf("residual p2 missing from %v", parts)
+	}
+}
+
+func TestDualValidationCatchesCorruption(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{})
+	d := Dual(r)
+	d.Bridges = append(d.Bridges, DualBridge{A: 0, B: 2, Part: 1})
+	if err := d.Validate(); err == nil {
+		t.Fatal("phantom bridge accepted")
+	}
+}
+
+func TestDualDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := circuit.Random(rng, 4, 20)
+	res, err := decompose.ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := simplified(t, res.Circuit, simplify.Options{})
+	r2 := simplified(t, res.Circuit, simplify.Options{})
+	d1, d2 := Dual(r1), Dual(r2)
+	if !reflect.DeepEqual(d1.Components(), d2.Components()) {
+		t.Fatal("dual bridging not deterministic")
+	}
+	if d1.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPipelineOnRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		c := circuit.Random(rng, 4, 25)
+		res, err := decompose.ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := simplified(t, res.Circuit, simplify.Options{MeasurementSide: true})
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d simplify: %v", trial, err)
+		}
+		p := Primal(r, rand.New(rand.NewSource(int64(trial))))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d primal: %v", trial, err)
+		}
+		d := Dual(r)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d dual: %v", trial, err)
+		}
+		if d.NumComponents() > len(r.Graph.Nets) {
+			t.Fatalf("trial %d: components grew", trial)
+		}
+	}
+}
+
+func TestDualNone(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{Disabled: true})
+	d := DualNone(r)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumComponents() != 3 || d.NumBridges() != 0 {
+		t.Fatalf("no-bridging result: %d components, %d bridges", d.NumComponents(), d.NumBridges())
+	}
+	for i := 0; i < 3; i++ {
+		if d.Component(i) != i {
+			t.Fatalf("net %d not its own component", i)
+		}
+	}
+}
+
+func TestPrimalBest(t *testing.T) {
+	r := threeCNOT(t, simplify.Options{})
+	best := PrimalBest(r, 1, 5, 0)
+	if err := best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Never worse than the deterministic single run.
+	single := Primal(r, nil)
+	if best.NumNodes() > single.NumNodes() {
+		t.Fatalf("restarts made it worse: %d vs %d", best.NumNodes(), single.NumNodes())
+	}
+	// Deterministic for a fixed seed.
+	again := PrimalBest(r, 1, 5, 0)
+	if again.NumNodes() != best.NumNodes() {
+		t.Fatal("PrimalBest not deterministic")
+	}
+	if PrimalBest(r, 1, 0, 0).NumNodes() != single.NumNodes() {
+		t.Fatal("zero restarts must equal the deterministic run")
+	}
+}

@@ -1,0 +1,242 @@
+// Package canonical builds the canonical geometric description of an ICM
+// circuit (paper §2.1, Fig. 1(b)): every rail is a primal defect pair
+// running along the time axis, and every ICM CNOT is a dual braid loop
+// crossing between the strand pairs of its control and target rails.
+//
+// The canonical space-time volume follows the closed form the paper's
+// Table 2 uses: 6·#Qubits·#CNOTs plus the total distillation-box volume
+// (18 per |Y⟩, 192 per |A⟩). We verified this expression reproduces every
+// canonical-volume row of Table 2 exactly.
+package canonical
+
+import (
+	"fmt"
+
+	"tqec/internal/geom"
+	"tqec/internal/icm"
+)
+
+// Geometry constants in doubled coordinates.
+const (
+	railPitch  = 2 * geom.Unit // y distance between rail centres (1 unit… ×2 strands)
+	strandGap  = 2 * geom.Unit // z distance between the two strands of a rail
+	gatePitch  = 3 * geom.Unit // x length consumed by one CNOT (3 units)
+	gateOffset = gatePitch / 2 // braid plane offset within the slot (odd: dual parity)
+)
+
+// Volume returns the canonical space-time volume in paper units using the
+// closed form of Table 2: 6·q·g + 18·#|Y⟩ + 192·#|A⟩, with q the
+// non-injection rail count and g the ICM CNOT count.
+func Volume(rep *icm.Rep) int {
+	return 6*rep.NumQubits()*len(rep.CNOTs) +
+		geom.BoxY.Volume()*rep.NumY() +
+		geom.BoxA.Volume()*rep.NumA()
+}
+
+// railY returns the y coordinate of rail r's strands.
+func railY(r int) int { return railPitch / 2 * r } // pitch of 1 unit between rails
+
+// Describe builds the canonical 3-D geometric description. Rails are
+// stacked along y at one-unit pitch with their strand pairs spanning two
+// units of z; gate i's dual braid lives in the plane x = 3i + 1.5 units.
+// Distillation boxes are lined up before x = 0 feeding the injection
+// rails.
+func Describe(rep *icm.Rep) (*geom.Description, error) {
+	slots := make([]int, len(rep.CNOTs))
+	for i := range slots {
+		slots[i] = i
+	}
+	return DescribeScheduled(rep, slots, 3)
+}
+
+// DescribeScheduled builds the geometric description with gate i's braid
+// in time slot slots[i] at the given per-slot pitch in paper units (the
+// canonical form uses the identity schedule at pitch 3; the deformation
+// stage compacts slots and pitch). Braids sharing a slot must not
+// conflict — callers schedule them; this builder just draws.
+func DescribeScheduled(rep *icm.Rep, slots []int, pitchUnits int) (*geom.Description, error) {
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	if len(slots) != len(rep.CNOTs) {
+		return nil, fmt.Errorf("canonical: %d slots for %d gates", len(slots), len(rep.CNOTs))
+	}
+	if pitchUnits < 2 {
+		return nil, fmt.Errorf("canonical: pitch %d below the separation minimum", pitchUnits)
+	}
+	pitch := pitchUnits * geom.Unit
+	maxSlot := 0
+	for _, s := range slots {
+		if s < 0 {
+			return nil, fmt.Errorf("canonical: negative slot")
+		}
+		if s > maxSlot {
+			maxSlot = s
+		}
+	}
+	xEnd := (maxSlot + 1) * pitch
+	if len(slots) == 0 {
+		xEnd = pitch
+	}
+	desc := &geom.Description{}
+
+	// Primal rails.
+	for _, rail := range rep.Rails {
+		y := railY(rail.ID)
+		d := geom.Defect{Kind: geom.Primal, Label: fmt.Sprintf("rail%d", rail.ID)}
+		d.AddSeg(geom.SegOf(geom.Pt(0, y, 0), geom.Pt(xEnd, y, 0)))
+		d.AddSeg(geom.SegOf(geom.Pt(0, y, strandGap), geom.Pt(xEnd, y, strandGap)))
+		// Initialization cap at x = 0.
+		switch rail.Init.Cap() {
+		case geom.CapZ, geom.CapInject:
+			d.AddSeg(geom.SegOf(geom.Pt(0, y, 0), geom.Pt(0, y, strandGap)))
+		}
+		d.Caps = append(d.Caps, geom.Cap{Kind: rail.Init.Cap(), At: geom.Pt(0, y, 0)})
+		// Measurement cap at x = xEnd.
+		if rail.Meas.Cap() == geom.CapZ {
+			d.AddSeg(geom.SegOf(geom.Pt(xEnd, y, 0), geom.Pt(xEnd, y, strandGap)))
+		}
+		d.Caps = append(d.Caps, geom.Cap{Kind: rail.Meas.Cap(), At: geom.Pt(xEnd, y, 0)})
+		desc.Add(d)
+	}
+
+	// Dual braid loops, one per CNOT.
+	for i, c := range rep.CNOTs {
+		x := slots[i]*pitch + pitch/2 + (1 - (pitch/2)%2) // odd: dual parity
+		loop := braidLoop(railY(c.Control), railY(c.Target))
+		d := geom.Defect{Kind: geom.Dual, Label: fmt.Sprintf("d%d", c.ID)}
+		d.AddPath(loopAtX(loop, x))
+		desc.Add(d)
+	}
+
+	// Distillation boxes stacked leftwards before the circuit body, each
+	// at its injection rail's y.
+	cursor := -2 * geom.Unit
+	col := 0
+	for _, rail := range rep.Rails {
+		var kind geom.BoxKind
+		switch rail.Init {
+		case icm.InjectY:
+			kind = geom.BoxY
+		case icm.InjectA:
+			kind = geom.BoxA
+		default:
+			continue
+		}
+		nx, _, _ := kind.Dims()
+		at := geom.Pt(cursor-nx*geom.Unit, railY(rail.ID), 0)
+		desc.AddBox(geom.DistillBox{Kind: kind, At: at, Label: fmt.Sprintf("box%d", col)})
+		cursor -= (nx + 2) * geom.Unit
+		col++
+	}
+	return desc, nil
+}
+
+// braidLoop returns the braid loop vertices in (y, z) for a CNOT whose
+// control strands sit at y = yc and target strands at y = yt (z = 0 and
+// z = strandGap). For adjacent rails the loop is a plain ring crossing
+// both strand pairs at z = 1; otherwise it snakes over intermediate rails
+// through corridors above the strands.
+func braidLoop(yc, yt int) [][2]int {
+	const zCross = geom.Unit / 2 * 1 // z = 1: between the strands (0 and 4)
+	lo, hi := yc, yt
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo == railPitch/2 { // adjacent rails: tight ring
+		return [][2]int{
+			{lo - 1, zCross},
+			{hi + 1, zCross},
+			{hi + 1, strandGap + 1},
+			{lo - 1, strandGap + 1},
+			{lo - 1, zCross},
+		}
+	}
+	// Snake: cross control, escape above, corridor, descend, cross target,
+	// return through a higher corridor.
+	return [][2]int{
+		{yc - 1, zCross},
+		{yc + 1, zCross},
+		{yc + 1, strandGap + 1},
+		{yt - 1, strandGap + 1},
+		{yt - 1, zCross},
+		{yt + 1, zCross},
+		{yt + 1, strandGap + 3},
+		{yc - 1, strandGap + 3},
+		{yc - 1, zCross},
+	}
+}
+
+// loopAtX lifts a (y, z) loop into the plane x = x0.
+func loopAtX(loop [][2]int, x0 int) geom.Path {
+	p := make(geom.Path, len(loop))
+	for i, v := range loop {
+		p[i] = geom.Pt(x0, v[0], v[1])
+	}
+	return p
+}
+
+// railBandRing returns the primal ring of rail r against which braid
+// crossings are counted: the rectangle spanned by the rail's strand pair.
+func railBandRing(rep *icm.Rep, r int, xEnd int) geom.Ring {
+	return geom.RingAround(geom.Primal, geom.Y, railY(r), 0, xEnd, 0, strandGap)
+}
+
+// CheckBraids verifies that the description's braid loops realize exactly
+// the ICM braiding relation: gate i's dual loop crosses between the strand
+// pair of its control rail and its target rail exactly once each, and
+// never between any other rail's pair. The rail extent is read off the
+// description itself so scheduled (deformed) descriptions check too.
+func CheckBraids(rep *icm.Rep, desc *geom.Description) error {
+	xEnd := gatePitch
+	for i := range rep.Rails {
+		if i >= len(desc.Defects) {
+			break
+		}
+		for _, seg := range desc.Defects[i].Segs {
+			if seg.A.X > xEnd {
+				xEnd = seg.A.X
+			}
+			if seg.B.X > xEnd {
+				xEnd = seg.B.X
+			}
+		}
+	}
+	// Dual defects appear after the rails, in CNOT order.
+	for i, c := range rep.CNOTs {
+		di := len(rep.Rails) + i
+		if di >= len(desc.Defects) {
+			return fmt.Errorf("canonical: defect for gate %d missing", i)
+		}
+		loop := desc.Defects[di]
+		if loop.Kind != geom.Dual {
+			return fmt.Errorf("canonical: defect %d is not dual", di)
+		}
+		path := pathOf(&loop)
+		for _, rail := range rep.Rails {
+			ring := railBandRing(rep, rail.ID, xEnd)
+			want := 0
+			if rail.ID == c.Control || rail.ID == c.Target {
+				want = 1
+			}
+			if got := ring.PierceCount(path); got != want {
+				return fmt.Errorf("canonical: gate %d crosses rail %d band %d times, want %d",
+					i, rail.ID, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// pathOf reconstitutes a closed path from a defect's segments (the braid
+// loops are stored as paths, so segments chain head-to-tail).
+func pathOf(d *geom.Defect) geom.Path {
+	if len(d.Segs) == 0 {
+		return nil
+	}
+	p := geom.Path{d.Segs[0].A}
+	for _, s := range d.Segs {
+		p = append(p, s.B)
+	}
+	return p
+}

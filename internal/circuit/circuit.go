@@ -1,0 +1,255 @@
+// Package circuit defines the gate-level intermediate representation for
+// quantum circuits entering the TQEC compression pipeline.
+//
+// The pipeline's preprocessing stage decomposes everything here down to the
+// ICM (Initialization, CNOT, Measurement) form; this package only needs to
+// represent the gate set found in reversible-logic benchmarks (NOT, CNOT,
+// Toffoli, and general multi-controlled Toffoli) plus the Clifford+T
+// singles produced by decomposition (H, S, S†, T, T†, X, Z).
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GateKind enumerates the supported gate types.
+type GateKind int
+
+// Supported gate kinds.
+const (
+	X       GateKind = iota // Pauli X / NOT
+	Z                       // Pauli Z
+	H                       // Hadamard
+	S                       // phase gate
+	Sdg                     // S†
+	T                       // π/8 gate
+	Tdg                     // T†
+	CNOT                    // controlled NOT
+	CZ                      // controlled Z
+	Toffoli                 // doubly-controlled NOT
+	MCT                     // multi-controlled Toffoli (≥3 controls)
+)
+
+var kindNames = map[GateKind]string{
+	X: "x", Z: "z", H: "h", S: "s", Sdg: "sdg", T: "t", Tdg: "tdg",
+	CNOT: "cnot", CZ: "cz", Toffoli: "toffoli", MCT: "mct",
+}
+
+// String returns the lower-case gate mnemonic.
+func (k GateKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("gate(%d)", int(k))
+}
+
+// IsSingleQubit reports whether the kind acts on exactly one qubit.
+func (k GateKind) IsSingleQubit() bool {
+	switch k {
+	case X, Z, H, S, Sdg, T, Tdg:
+		return true
+	}
+	return false
+}
+
+// Gate is one gate instance: zero or more controls acting on one target.
+type Gate struct {
+	Kind     GateKind
+	Controls []int
+	Target   int
+}
+
+// NewGate builds a gate, copying the control list.
+func NewGate(k GateKind, target int, controls ...int) Gate {
+	c := make([]int, len(controls))
+	copy(c, controls)
+	return Gate{Kind: k, Controls: c, Target: target}
+}
+
+// Arity returns the number of qubits the gate touches.
+func (g Gate) Arity() int { return len(g.Controls) + 1 }
+
+// Qubits returns all touched qubit indices, controls first.
+func (g Gate) Qubits() []int {
+	q := make([]int, 0, g.Arity())
+	q = append(q, g.Controls...)
+	return append(q, g.Target)
+}
+
+// String renders the gate as "kind c1,c2 -> t".
+func (g Gate) String() string {
+	if len(g.Controls) == 0 {
+		return fmt.Sprintf("%s q%d", g.Kind, g.Target)
+	}
+	cs := make([]string, len(g.Controls))
+	for i, c := range g.Controls {
+		cs[i] = fmt.Sprintf("q%d", c)
+	}
+	return fmt.Sprintf("%s %s -> q%d", g.Kind, strings.Join(cs, ","), g.Target)
+}
+
+// Validate checks control/target consistency against the circuit width.
+func (g Gate) Validate(width int) error {
+	if g.Target < 0 || g.Target >= width {
+		return fmt.Errorf("gate %v: target out of range [0,%d)", g, width)
+	}
+	seen := map[int]bool{g.Target: true}
+	for _, c := range g.Controls {
+		if c < 0 || c >= width {
+			return fmt.Errorf("gate %v: control %d out of range [0,%d)", g, c, width)
+		}
+		if seen[c] {
+			return fmt.Errorf("gate %v: duplicate qubit %d", g, c)
+		}
+		seen[c] = true
+	}
+	want := map[GateKind]int{CNOT: 1, CZ: 1, Toffoli: 2}
+	if n, ok := want[g.Kind]; ok && len(g.Controls) != n {
+		return fmt.Errorf("gate %v: %s needs exactly %d control(s)", g, g.Kind, n)
+	}
+	if g.Kind.IsSingleQubit() && len(g.Controls) != 0 {
+		return fmt.Errorf("gate %v: single-qubit gate with controls", g)
+	}
+	if g.Kind == MCT && len(g.Controls) < 3 {
+		return fmt.Errorf("gate %v: mct needs ≥3 controls (use x/cnot/toffoli)", g)
+	}
+	return nil
+}
+
+// Circuit is an ordered gate list over a fixed set of qubits.
+type Circuit struct {
+	Name   string
+	Width  int // number of qubits
+	Gates  []Gate
+	Labels []string // optional per-qubit names (len 0 or Width)
+}
+
+// New creates an empty circuit of the given width.
+func New(name string, width int) *Circuit {
+	return &Circuit{Name: name, Width: width}
+}
+
+// Append adds a gate, growing the width if the gate references new qubits.
+func (c *Circuit) Append(g Gate) {
+	for _, q := range g.Qubits() {
+		if q >= c.Width {
+			c.Width = q + 1
+		}
+	}
+	c.Gates = append(c.Gates, g)
+}
+
+// AppendNew builds and adds a gate in one step.
+func (c *Circuit) AppendNew(k GateKind, target int, controls ...int) {
+	c.Append(NewGate(k, target, controls...))
+}
+
+// Validate checks every gate against the circuit width.
+func (c *Circuit) Validate() error {
+	if c.Width <= 0 {
+		return fmt.Errorf("circuit %q: non-positive width %d", c.Name, c.Width)
+	}
+	if len(c.Labels) != 0 && len(c.Labels) != c.Width {
+		return fmt.Errorf("circuit %q: %d labels for %d qubits", c.Name, len(c.Labels), c.Width)
+	}
+	for i, g := range c.Gates {
+		if err := g.Validate(c.Width); err != nil {
+			return fmt.Errorf("circuit %q gate %d: %w", c.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Counts tallies gates by kind.
+func (c *Circuit) Counts() map[GateKind]int {
+	m := make(map[GateKind]int)
+	for _, g := range c.Gates {
+		m[g.Kind]++
+	}
+	return m
+}
+
+// CountKind returns the number of gates of kind k.
+func (c *Circuit) CountKind(k GateKind) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth computes the circuit depth under full qubit-level parallelism.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.Width)
+	depth := 0
+	for _, g := range c.Gates {
+		d := 0
+		for _, q := range g.Qubits() {
+			if level[q] > d {
+				d = level[q]
+			}
+		}
+		d++
+		for _, q := range g.Qubits() {
+			level[q] = d
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// Clone deep-copies the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, Width: c.Width}
+	out.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		out.Gates[i] = NewGate(g.Kind, g.Target, g.Controls...)
+	}
+	if len(c.Labels) > 0 {
+		out.Labels = append([]string(nil), c.Labels...)
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("circuit %q: %d qubits, %d gates, depth %d",
+		c.Name, c.Width, len(c.Gates), c.Depth())
+}
+
+// Random builds a deterministic pseudo-random circuit with the given number
+// of qubits and gates drawn from {CNOT, Toffoli, T, H}; useful for fuzzing
+// the pipeline.
+func Random(rng *rand.Rand, qubits, gates int) *Circuit {
+	c := New("random", qubits)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.AppendNew(T, rng.Intn(qubits))
+		case 1:
+			c.AppendNew(H, rng.Intn(qubits))
+		default:
+			t := rng.Intn(qubits)
+			ctl := rng.Intn(qubits)
+			for ctl == t {
+				ctl = rng.Intn(qubits)
+			}
+			if qubits >= 3 && rng.Intn(3) == 0 {
+				c2 := rng.Intn(qubits)
+				for c2 == t || c2 == ctl {
+					c2 = rng.Intn(qubits)
+				}
+				c.AppendNew(Toffoli, t, ctl, c2)
+			} else {
+				c.AppendNew(CNOT, t, ctl)
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,173 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGateKindString(t *testing.T) {
+	for k, want := range map[GateKind]string{
+		X: "x", Z: "z", H: "h", S: "s", Sdg: "sdg", T: "t", Tdg: "tdg",
+		CNOT: "cnot", CZ: "cz", Toffoli: "toffoli", MCT: "mct",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if GateKind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestIsSingleQubit(t *testing.T) {
+	singles := []GateKind{X, Z, H, S, Sdg, T, Tdg}
+	for _, k := range singles {
+		if !k.IsSingleQubit() {
+			t.Errorf("%v should be single-qubit", k)
+		}
+	}
+	for _, k := range []GateKind{CNOT, CZ, Toffoli, MCT} {
+		if k.IsSingleQubit() {
+			t.Errorf("%v should not be single-qubit", k)
+		}
+	}
+}
+
+func TestGateBasics(t *testing.T) {
+	g := NewGate(Toffoli, 2, 0, 1)
+	if g.Arity() != 3 {
+		t.Fatalf("arity = %d", g.Arity())
+	}
+	q := g.Qubits()
+	if len(q) != 3 || q[0] != 0 || q[1] != 1 || q[2] != 2 {
+		t.Fatalf("qubits = %v", q)
+	}
+	if !strings.Contains(g.String(), "toffoli") {
+		t.Fatalf("string = %q", g.String())
+	}
+	single := NewGate(T, 3)
+	if !strings.Contains(single.String(), "q3") {
+		t.Fatalf("single string = %q", single.String())
+	}
+	// NewGate must copy the control slice.
+	ctl := []int{0, 1}
+	g2 := NewGate(Toffoli, 2, ctl...)
+	ctl[0] = 9
+	if g2.Controls[0] != 0 {
+		t.Fatal("controls not copied")
+	}
+}
+
+func TestGateValidate(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		ok   bool
+		name string
+	}{
+		{NewGate(CNOT, 1, 0), true, "cnot"},
+		{NewGate(CNOT, 1), false, "cnot without control"},
+		{NewGate(CNOT, 1, 0, 2), false, "cnot with two controls"},
+		{NewGate(Toffoli, 2, 0, 1), true, "toffoli"},
+		{NewGate(Toffoli, 2, 0), false, "toffoli with one control"},
+		{NewGate(T, 0), true, "t"},
+		{NewGate(T, 0, 1), false, "controlled t"},
+		{NewGate(CNOT, 5, 0), false, "target out of range"},
+		{NewGate(CNOT, 1, 7), false, "control out of range"},
+		{NewGate(CNOT, 1, 1), false, "control equals target"},
+		{NewGate(MCT, 4, 0, 1, 2), true, "mct3"},
+		{NewGate(MCT, 4, 0, 1), false, "mct with 2 controls"},
+		{NewGate(MCT, 4, 0, 1, 1), false, "duplicate control"},
+	}
+	for _, c := range cases {
+		err := c.g.Validate(5)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCircuitAppendGrowsWidth(t *testing.T) {
+	c := New("g", 2)
+	c.AppendNew(CNOT, 4, 3)
+	if c.Width != 5 {
+		t.Fatalf("width = %d, want 5", c.Width)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestCircuitValidate(t *testing.T) {
+	c := New("bad", 0)
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	c = New("labels", 2)
+	c.Labels = []string{"a"}
+	if err := c.Validate(); err == nil {
+		t.Fatal("label/width mismatch accepted")
+	}
+	c = New("gate", 2)
+	c.Gates = append(c.Gates, NewGate(CNOT, 1)) // bypass Append
+	if err := c.Validate(); err == nil {
+		t.Fatal("invalid gate accepted")
+	}
+}
+
+func TestCountsAndDepth(t *testing.T) {
+	c := New("c", 3)
+	c.AppendNew(CNOT, 1, 0)
+	c.AppendNew(CNOT, 2, 1)
+	c.AppendNew(T, 0)
+	m := c.Counts()
+	if m[CNOT] != 2 || m[T] != 1 {
+		t.Fatalf("counts = %v", m)
+	}
+	if c.CountKind(CNOT) != 2 || c.CountKind(H) != 0 {
+		t.Fatal("CountKind broken")
+	}
+	// Gate 1 depends on gate 0 via qubit 1; T on qubit 0 fits at level 2.
+	if d := c.Depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+	if New("e", 1).Depth() != 0 {
+		t.Fatal("empty depth must be 0")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := New("orig", 3)
+	c.Labels = []string{"a", "b", "c"}
+	c.AppendNew(Toffoli, 2, 0, 1)
+	d := c.Clone()
+	d.Gates[0].Controls[0] = 9
+	d.Labels[0] = "z"
+	if c.Gates[0].Controls[0] != 0 || c.Labels[0] != "a" {
+		t.Fatal("Clone must deep-copy")
+	}
+	if c.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Random(rng, 5, 40)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("random circuit invalid: %v", err)
+	}
+	if len(c.Gates) != 40 || c.Width != 5 {
+		t.Fatalf("random shape wrong: %v", c)
+	}
+	// Determinism under the same seed.
+	c2 := Random(rand.New(rand.NewSource(1)), 5, 40)
+	for i := range c.Gates {
+		if c.Gates[i].String() != c2.Gates[i].String() {
+			t.Fatal("Random not deterministic for fixed seed")
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText exercises the gate-list parser for panics and validity.
+func FuzzParseText(f *testing.F) {
+	f.Add("qubits 3\ncnot 0 1\nt 2\ntoffoli 0 1 2\n")
+	f.Add("# name\nqubits 1\nh 0\n")
+	f.Add("qubits x\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid circuit: %v", err)
+		}
+		var sb strings.Builder
+		if err := WriteText(&sb, c); err != nil {
+			t.Fatalf("valid circuit failed to serialize: %v", err)
+		}
+		back, err := ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("writer emitted unparsable output: %v\n%s", err, sb.String())
+		}
+		if len(back.Gates) != len(c.Gates) || back.Width != c.Width {
+			t.Fatal("round trip changed the circuit")
+		}
+	})
+}

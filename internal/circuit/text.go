@@ -1,0 +1,96 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the circuit in a plain line-oriented format that,
+// unlike RevLib .real, can carry Clifford+T gates:
+//
+//	# name
+//	qubits N
+//	<kind> [controls...] target
+//
+// e.g. "cnot 0 1" (control 0, target 1), "t 3", "toffoli 0 1 2".
+func WriteText(w io.Writer, c *Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\nqubits %d\n", c.Name, c.Width)
+	for _, g := range c.Gates {
+		parts := make([]string, 0, g.Arity()+1)
+		parts = append(parts, g.Kind.String())
+		for _, q := range g.Controls {
+			parts = append(parts, strconv.Itoa(q))
+		}
+		parts = append(parts, strconv.Itoa(g.Target))
+		fmt.Fprintln(bw, strings.Join(parts, " "))
+	}
+	return bw.Flush()
+}
+
+var kindByName = func() map[string]GateKind {
+	m := make(map[string]GateKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// ParseText reads the WriteText format.
+func ParseText(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	c := New("", 0)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			if name, ok := strings.CutPrefix(text, "# "); ok && c.Name == "" {
+				c.Name = name
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "qubits" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("circuit: line %d: qubits wants one argument", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("circuit: line %d: bad qubit count %q", line, fields[1])
+			}
+			c.Width = n
+			continue
+		}
+		kind, ok := kindByName[strings.ToLower(fields[0])]
+		if !ok {
+			return nil, fmt.Errorf("circuit: line %d: unknown gate %q", line, fields[0])
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("circuit: line %d: gate without operands", line)
+		}
+		ops := make([]int, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad operand %q", line, f)
+			}
+			ops = append(ops, v)
+		}
+		c.Append(NewGate(kind, ops[len(ops)-1], ops[:len(ops)-1]...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

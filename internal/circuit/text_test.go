@@ -1,0 +1,55 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	c := New("rt", 4)
+	c.AppendNew(CNOT, 1, 0)
+	c.AppendNew(T, 2)
+	c.AppendNew(Toffoli, 3, 0, 1)
+	c.AppendNew(MCT, 0, 1, 2, 3)
+	c.AppendNew(H, 2)
+	var sb strings.Builder
+	if err := WriteText(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.Name != "rt" || back.Width != 4 || len(back.Gates) != len(c.Gates) {
+		t.Fatalf("shape: %v", back)
+	}
+	for i := range c.Gates {
+		if back.Gates[i].String() != c.Gates[i].String() {
+			t.Fatalf("gate %d: %v vs %v", i, back.Gates[i], c.Gates[i])
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad qubits":    "qubits x\n",
+		"qubits arity":  "qubits 1 2\n",
+		"unknown gate":  "qubits 2\nfoo 0\n",
+		"no operands":   "qubits 2\ncnot\n",
+		"bad operand":   "qubits 2\ncnot a 1\n",
+		"invalid gate":  "qubits 2\ncnot 0 0\n",
+		"empty circuit": "",
+	}
+	for name, src := range cases {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteTextRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, New("bad", 0)); err == nil {
+		t.Fatal("invalid circuit serialized")
+	}
+}

@@ -1,0 +1,216 @@
+package compress
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tqec/internal/circuit"
+	"tqec/internal/geom"
+	"tqec/internal/place"
+)
+
+// TestPipelineInvariantLadder runs the full pipeline over randomized
+// circuits and checks the cross-stage invariants the paper's correctness
+// rests on:
+//
+//  1. the PD graph preserves the ICM structure (module-count identity);
+//  2. the I-shape part relation preserves the net→group braiding;
+//  3. primal chains partition the groups and only bridge net-adjacent
+//     neighbours;
+//  4. dual components never merge inter-T-ordered nets and never take a
+//     second bridge (no extra loop);
+//  5. the placement is overlap-free and every pin lands inside the box;
+//  6. routed nets connect all pins and avoid obstacles.
+func TestPipelineInvariantLadder(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		c := circuit.Random(rng, 5, 20)
+		mode := Full
+		if trial%2 == 1 {
+			mode = DualOnly
+		}
+		res, err := Compile(c, Options{Mode: mode, Seed: int64(trial), MeasurementSideIShape: trial%3 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// (1) PD graph.
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// (2) simplification.
+		if err := res.Simplified.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// (3) primal bridging.
+		if err := res.Primal.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// (4) dual bridging.
+		if err := res.Dual.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// (5) placement.
+		if err := res.Placement.CheckLegal(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, pins := range res.Placement.Input.Nets {
+			for _, p := range pins {
+				x, y, z := res.Placement.PinPosition(p)
+				if x < 0 || y < 0 || z < 0 {
+					t.Fatalf("trial %d: pin at negative position", trial)
+				}
+			}
+		}
+		// (6) routing (validated inside the route package; here check the
+		// headline numbers are consistent).
+		if res.Routing != nil {
+			if res.RouteFailed != len(res.Routing.Failed) {
+				t.Fatalf("trial %d: failed-count mismatch", trial)
+			}
+			if res.Volume < res.PlacedVolume {
+				t.Fatalf("trial %d: routed volume %d below placed %d", trial, res.Volume, res.PlacedVolume)
+			}
+		}
+	}
+}
+
+// TestVolumeMonotonicityAlongPipeline: canonical ≥ dual-only ≥ full placed
+// volumes on benchmark-shaped workloads (the Fig. 1 ladder generalized).
+func TestVolumeMonotonicityAlongPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3; trial++ {
+		c := circuit.New("ladder", 10)
+		for i := 0; i < 60; i++ {
+			tq := rng.Intn(10)
+			cq := (tq + 1 + rng.Intn(9)) % 10
+			c.AppendNew(circuit.CNOT, tq, cq)
+			if i%15 == 7 {
+				c.AppendNew(circuit.T, tq)
+			}
+		}
+		full, err := Compile(c, Options{Mode: Full, Seed: int64(trial), SkipRouting: true, Effort: EffortNormal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual, err := Compile(c, Options{Mode: DualOnly, Seed: int64(trial), SkipRouting: true, Effort: EffortNormal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(full.CanonicalVolume > dual.PlacedVolume) {
+			t.Fatalf("trial %d: canonical %d !> dual-only %d", trial, full.CanonicalVolume, dual.PlacedVolume)
+		}
+		if full.PlacedVolume > dual.PlacedVolume*11/10 {
+			t.Fatalf("trial %d: full %d far above dual-only %d", trial, full.PlacedVolume, dual.PlacedVolume)
+		}
+	}
+}
+
+// TestRealizedGeometryStructure checks the materialized 3-D description:
+// one primal defect per chain with a ring per group, bridge studs between
+// consecutive rings, boxes in place, and dual defects for routed nets.
+func TestRealizedGeometryStructure(t *testing.T) {
+	c := circuit.New("geo", 3)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.CNOT, 2, 1)
+	c.AppendNew(circuit.T, 0)
+	res, err := Compile(c, Options{Mode: Full, Seed: 1, KeepGeometry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Geometry
+	primal, dual, boxes := 0, 0, len(g.Boxes)
+	for _, d := range g.Defects {
+		switch d.Kind {
+		case geom.Primal:
+			primal++
+			if err := d.Validate(); err != nil {
+				t.Fatalf("primal defect invalid: %v", err)
+			}
+		case geom.Dual:
+			dual++
+		}
+	}
+	chains := 0
+	for _, it := range res.Placement.Input.Items {
+		if it.Kind == place.KindChain {
+			chains++
+		}
+	}
+	if primal != chains {
+		t.Fatalf("primal defects %d != chains %d", primal, chains)
+	}
+	if boxes != res.ICM.NumY()+res.ICM.NumA() {
+		t.Fatalf("boxes %d != Y+A %d", boxes, res.ICM.NumY()+res.ICM.NumA())
+	}
+	if res.Routing != nil && dual != len(res.Routing.Routes) {
+		t.Fatalf("dual defects %d != routed nets %d", dual, len(res.Routing.Routes))
+	}
+	// Rings per chain = groups per chain.
+	for i, d := range g.Defects {
+		if d.Kind != geom.Primal {
+			continue
+		}
+		it := res.Placement.Input.Items[indexOfChainLabel(t, d.Label)]
+		// Each ring contributes 4 segments, each stud 1.
+		want := 4*len(it.Chain) + (len(it.Chain) - 1)
+		if len(d.Segs) != want {
+			t.Fatalf("defect %d: %d segments, want %d", i, len(d.Segs), want)
+		}
+	}
+}
+
+func indexOfChainLabel(t *testing.T, label string) int {
+	t.Helper()
+	id, err := strconv.Atoi(strings.TrimPrefix(label, "chain"))
+	if err != nil {
+		t.Fatalf("bad chain label %q", label)
+	}
+	return id
+}
+
+// TestMeasurementSideIShapeCompressesMore verifies the optional extension
+// never hurts the node count.
+func TestMeasurementSideIShapeCompressesMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	c := circuit.Random(rng, 5, 25)
+	plain, err := Compile(c, Options{Mode: Full, Seed: 1, SkipRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Compile(c, Options{Mode: Full, Seed: 1, SkipRouting: true, MeasurementSideIShape: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.IShapeMerges < plain.IShapeMerges {
+		t.Fatalf("extension lost merges: %d vs %d", ext.IShapeMerges, plain.IShapeMerges)
+	}
+}
+
+// TestChainCap keeps super-modules well proportioned.
+func TestChainCap(t *testing.T) {
+	if chainCap(6) != 3 {
+		t.Fatalf("chainCap(6) = %d", chainCap(6))
+	}
+	if chainCap(1000) != 10 {
+		t.Fatalf("chainCap(1000) = %d", chainCap(1000))
+	}
+	if chainCap(0) != 3 {
+		t.Fatalf("chainCap(0) = %d", chainCap(0))
+	}
+	c := circuit.New("cap", 2)
+	for i := 0; i < 40; i++ {
+		c.AppendNew(circuit.CNOT, (i+1)%2, i%2)
+	}
+	res, err := Compile(c, Options{Mode: Full, Seed: 1, SkipRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := chainCap(res.NumModules)
+	for _, chain := range res.Primal.Chains {
+		if len(chain) > cap {
+			t.Fatalf("chain of %d groups exceeds cap %d", len(chain), cap)
+		}
+	}
+}

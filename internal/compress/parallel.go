@@ -1,0 +1,101 @@
+package compress
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tqec/internal/circuit"
+	"tqec/internal/icm"
+)
+
+// CompileBest runs the pipeline once per seed, in parallel, and returns
+// the result with the smallest final volume (ties broken by the earliest
+// seed, so the output is deterministic). Every run is fully independent —
+// simulated-annealing restarts are the classic defence against local
+// minima, which the paper inherits from Paetznick & Fowler's SA-based
+// compaction.
+//
+// parallel bounds the number of concurrent runs; 0 selects GOMAXPROCS.
+func CompileBest(c *circuit.Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("compress: no seeds")
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		idx int
+		res *Result
+		err error
+	}
+	results := make([]outcome, len(seeds))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runOpt := opt
+			runOpt.Seed = seed
+			res, err := Compile(c, runOpt)
+			results[i] = outcome{idx: i, res: res, err: err}
+		}(i, seed)
+	}
+	wg.Wait()
+	var best *Result
+	for _, o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("compress: seed %d: %w", seeds[o.idx], o.err)
+		}
+		if best == nil || o.res.Volume < best.Volume {
+			best = o.res
+		}
+	}
+	return best, nil
+}
+
+// CompileBestICM is CompileBest over a pre-built ICM representation. The
+// representation is read-only across the pipeline, so the runs may share
+// it.
+func CompileBestICM(rep *icm.Rep, name string, opt Options, seeds []int64, parallel int) (*Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("compress: no seeds")
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	results := make([]outcome, len(seeds))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runOpt := opt
+			runOpt.Seed = seed
+			res, err := CompileICM(rep, name, runOpt, time.Time{}, nil)
+			results[i] = outcome{res: res, err: err}
+		}(i, seed)
+	}
+	wg.Wait()
+	var best *Result
+	for i, o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("compress: seed %d: %w", seeds[i], o.err)
+		}
+		if best == nil || o.res.Volume < best.Volume {
+			best = o.res
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,69 @@
+package compress
+
+import (
+	"testing"
+
+	"tqec/internal/icm"
+	"tqec/internal/revlib"
+)
+
+func TestCompileBestPicksSmallest(t *testing.T) {
+	c := threeCNOT(t)
+	best, err := CompileBest(c, Options{Mode: DualOnly, Effort: EffortFast}, []int64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		single, err := Compile(c, Options{Mode: DualOnly, Effort: EffortFast, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Volume < best.Volume {
+			t.Fatalf("seed %d beat the 'best' result: %d < %d", seed, single.Volume, best.Volume)
+		}
+	}
+}
+
+func TestCompileBestDeterministic(t *testing.T) {
+	c := threeCNOT(t)
+	a, err := CompileBest(c, Options{Mode: Full}, []int64{5, 6, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileBest(c, Options{Mode: Full}, []int64{5, 6, 7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Volume != b.Volume {
+		t.Fatalf("parallelism changed the answer: %d vs %d", a.Volume, b.Volume)
+	}
+}
+
+func TestCompileBestRejectsEmptySeeds(t *testing.T) {
+	c := threeCNOT(t)
+	if _, err := CompileBest(c, Options{}, nil, 0); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	if _, err := CompileBestICM(nil, "x", Options{}, nil, 0); err == nil {
+		t.Fatal("empty seed list accepted (ICM)")
+	}
+}
+
+func TestCompileBestICMSharedRep(t *testing.T) {
+	c, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run with -race in CI: the representation is shared read-only.
+	best, err := CompileBestICM(rep, "threecnot", Options{Mode: Full}, []int64{1, 2, 3, 4, 5, 6}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.PlacedVolume != 6 {
+		t.Fatalf("placed volume = %d, want 6", best.PlacedVolume)
+	}
+}

@@ -1,0 +1,177 @@
+// Package decompose lowers reversible-logic circuits to the Clifford+T
+// gate set expected by the ICM construction (paper §3.1, "preprocess
+// including gate decomposition").
+//
+// The lowering chain is:
+//
+//	MCT(k controls) → 2k−3 Toffoli gates using k−2 work ancillas (V-chain)
+//	Toffoli         → 7 T/T† + 6 CNOT + 2 H (standard Nielsen–Chuang network)
+//	Fredkin         → handled by the revlib reader (CNOT·Toffoli·CNOT)
+//
+// Pauli gates (X, Z) are tracked in the classical Pauli frame and removed;
+// they cost nothing in a TQEC implementation.
+package decompose
+
+import (
+	"fmt"
+
+	"tqec/internal/circuit"
+)
+
+// Result carries the lowered circuit and the ancilla bookkeeping.
+type Result struct {
+	Circuit      *circuit.Circuit
+	WorkAncillas int // work qubits added for MCT V-chains
+	PauliDropped int // X/Z gates absorbed into the Pauli frame
+}
+
+// ToCliffordT lowers c to {CNOT, H, S, S†, T, T†}. The input is not
+// modified. Work ancillas for MCT gates are appended after the original
+// qubits and reused across gates.
+func ToCliffordT(c *circuit.Circuit) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := circuit.New(c.Name, c.Width)
+	out.Labels = append([]string(nil), c.Labels...)
+	res := &Result{Circuit: out}
+
+	// Work-ancilla pool shared by all MCT gates.
+	maxCtl := 0
+	for _, g := range c.Gates {
+		if g.Kind == circuit.MCT && len(g.Controls) > maxCtl {
+			maxCtl = len(g.Controls)
+		}
+	}
+	ancBase := c.Width
+	if maxCtl > 2 {
+		res.WorkAncillas = maxCtl - 2
+		out.Width = c.Width + res.WorkAncillas
+		for i := 0; i < res.WorkAncillas && len(out.Labels) > 0; i++ {
+			out.Labels = append(out.Labels, fmt.Sprintf("anc%d", i))
+		}
+	}
+
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.X, circuit.Z:
+			res.PauliDropped++
+		case circuit.H, circuit.S, circuit.Sdg, circuit.T, circuit.Tdg:
+			out.AppendNew(g.Kind, g.Target)
+		case circuit.CNOT:
+			out.AppendNew(circuit.CNOT, g.Target, g.Controls[0])
+		case circuit.CZ:
+			out.AppendNew(circuit.H, g.Target)
+			out.AppendNew(circuit.CNOT, g.Target, g.Controls[0])
+			out.AppendNew(circuit.H, g.Target)
+		case circuit.Toffoli:
+			emitToffoli(out, g.Controls[0], g.Controls[1], g.Target)
+		case circuit.MCT:
+			emitMCT(out, g.Controls, g.Target, ancBase)
+		default:
+			return nil, fmt.Errorf("decompose: unsupported gate %v", g)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("decompose: internal error: %w", err)
+	}
+	return res, nil
+}
+
+// emitToffoli appends the standard 7T+6CNOT+2H Toffoli network with
+// controls a, b and target t.
+func emitToffoli(out *circuit.Circuit, a, b, t int) {
+	out.AppendNew(circuit.H, t)
+	out.AppendNew(circuit.CNOT, t, b)
+	out.AppendNew(circuit.Tdg, t)
+	out.AppendNew(circuit.CNOT, t, a)
+	out.AppendNew(circuit.T, t)
+	out.AppendNew(circuit.CNOT, t, b)
+	out.AppendNew(circuit.Tdg, t)
+	out.AppendNew(circuit.CNOT, t, a)
+	out.AppendNew(circuit.T, b)
+	out.AppendNew(circuit.T, t)
+	out.AppendNew(circuit.H, t)
+	out.AppendNew(circuit.CNOT, b, a)
+	out.AppendNew(circuit.T, a)
+	out.AppendNew(circuit.Tdg, b)
+	out.AppendNew(circuit.CNOT, b, a)
+}
+
+// emitMCT appends the V-chain lowering of a k-control Toffoli: ladder the
+// controls into work ancillas with k−2 Toffolis, apply the apex Toffoli,
+// and uncompute, for a total of 2k−3 Toffoli gates.
+func emitMCT(out *circuit.Circuit, controls []int, target, ancBase int) {
+	k := len(controls)
+	if k == 2 {
+		emitToffoli(out, controls[0], controls[1], target)
+		return
+	}
+	// Ladder up: w0 = c0∧c1, wi = c(i+1)∧w(i−1).
+	n := k - 2
+	emitToffoli(out, controls[0], controls[1], ancBase)
+	for i := 1; i < n; i++ {
+		emitToffoli(out, controls[i+1], ancBase+i-1, ancBase+i)
+	}
+	// Apex.
+	emitToffoli(out, controls[k-1], ancBase+n-1, target)
+	// Ladder down (uncompute).
+	for i := n - 1; i >= 1; i-- {
+		emitToffoli(out, controls[i+1], ancBase+i-1, ancBase+i)
+	}
+	emitToffoli(out, controls[0], controls[1], ancBase)
+}
+
+// Stats summarizes the ICM-level resource counts of a Clifford+T circuit
+// under the ancilla model of the ICM construction (paper Table 1):
+// every T/T† consumes one |A⟩ and two |Y⟩ states (the injection, the
+// selective-teleportation |Y⟩, and the corrective-S |Y⟩), and every
+// standalone S/S† consumes one |Y⟩ state.
+type Stats struct {
+	Qubits  int // logical rails + work rails after ICM expansion
+	CNOTs   int // ICM CNOT operations
+	YStates int
+	AStates int
+	TCount  int
+	HCount  int
+}
+
+// ICM per-gate expansion constants (see internal/icm for the construction).
+const (
+	cnotsPerT = 4 // gadget CNOTs in the T teleportation network
+	railsPerT = 1 // work rail carrying the teleported qubit onward
+	cnotsPerH = 1 // teleportation CNOT for the basis change
+	railsPerH = 1 // continuation rail
+	cnotsPerS = 1 // |Y⟩ coupling CNOT
+)
+
+// Count computes the post-ICM statistics of a Clifford+T circuit without
+// materializing the ICM representation.
+func Count(c *circuit.Circuit) Stats {
+	var st Stats
+	st.Qubits = c.Width
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.CNOT:
+			st.CNOTs++
+		case circuit.T, circuit.Tdg:
+			st.TCount++
+			st.CNOTs += cnotsPerT
+			st.Qubits += railsPerT
+			st.AStates++
+			st.YStates += 2
+		case circuit.H:
+			st.HCount++
+			st.CNOTs += cnotsPerH
+			st.Qubits += railsPerH
+		case circuit.S, circuit.Sdg:
+			st.CNOTs += cnotsPerS
+			st.YStates++
+		}
+	}
+	return st
+}
+
+// Modules returns the PD-graph module count identity the paper's Table 1
+// obeys: #Modules = #Qubits + #CNOTs + #|Y⟩ + #|A⟩.
+func (s Stats) Modules() int { return s.Qubits + s.CNOTs + s.YStates + s.AStates }

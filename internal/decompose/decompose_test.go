@@ -1,0 +1,205 @@
+package decompose
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tqec/internal/circuit"
+)
+
+func cliffordTOnly(c *circuit.Circuit) bool {
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.CNOT, circuit.H, circuit.S, circuit.Sdg, circuit.T, circuit.Tdg:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func TestToffoliLowering(t *testing.T) {
+	c := circuit.New("tof", 3)
+	c.AppendNew(circuit.Toffoli, 2, 0, 1)
+	res, err := ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Circuit
+	if !cliffordTOnly(out) {
+		t.Fatal("non-Clifford+T gate in output")
+	}
+	counts := out.Counts()
+	if got := counts[circuit.T] + counts[circuit.Tdg]; got != 7 {
+		t.Errorf("T count = %d, want 7", got)
+	}
+	if counts[circuit.CNOT] != 6 {
+		t.Errorf("CNOT count = %d, want 6", counts[circuit.CNOT])
+	}
+	if counts[circuit.H] != 2 {
+		t.Errorf("H count = %d, want 2", counts[circuit.H])
+	}
+	if res.WorkAncillas != 0 || out.Width != 3 {
+		t.Errorf("toffoli must not add ancillas: %d, width %d", res.WorkAncillas, out.Width)
+	}
+}
+
+func TestMCTLowering(t *testing.T) {
+	for k := 3; k <= 6; k++ {
+		c := circuit.New("mct", k+1)
+		controls := make([]int, k)
+		for i := range controls {
+			controls[i] = i
+		}
+		c.AppendNew(circuit.MCT, k, controls...)
+		res, err := ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantToffoli := 2*k - 3
+		counts := res.Circuit.Counts()
+		if got := counts[circuit.T] + counts[circuit.Tdg]; got != 7*wantToffoli {
+			t.Errorf("k=%d: T count = %d, want %d", k, got, 7*wantToffoli)
+		}
+		if res.WorkAncillas != k-2 {
+			t.Errorf("k=%d: ancillas = %d, want %d", k, res.WorkAncillas, k-2)
+		}
+		if !cliffordTOnly(res.Circuit) {
+			t.Errorf("k=%d: non-Clifford+T output", k)
+		}
+	}
+}
+
+func TestPauliFrameDrops(t *testing.T) {
+	c := circuit.New("pauli", 2)
+	c.AppendNew(circuit.X, 0)
+	c.AppendNew(circuit.Z, 1)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	res, err := ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PauliDropped != 2 {
+		t.Errorf("dropped = %d, want 2", res.PauliDropped)
+	}
+	if len(res.Circuit.Gates) != 1 {
+		t.Errorf("remaining gates = %v", res.Circuit.Gates)
+	}
+}
+
+func TestCZLowering(t *testing.T) {
+	c := circuit.New("cz", 2)
+	c.AppendNew(circuit.CZ, 1, 0)
+	res, err := ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Circuit.Counts()
+	if counts[circuit.H] != 2 || counts[circuit.CNOT] != 1 {
+		t.Fatalf("cz lowering = %v", counts)
+	}
+}
+
+func TestSinglesPassThrough(t *testing.T) {
+	c := circuit.New("singles", 1)
+	for _, k := range []circuit.GateKind{circuit.H, circuit.S, circuit.Sdg, circuit.T, circuit.Tdg} {
+		c.AppendNew(k, 0)
+	}
+	res, err := ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Circuit.Gates) != 5 {
+		t.Fatalf("gates = %v", res.Circuit.Gates)
+	}
+}
+
+func TestInvalidInputRejected(t *testing.T) {
+	c := circuit.New("bad", 0)
+	if _, err := ToCliffordT(c); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+}
+
+func TestLabelsExtended(t *testing.T) {
+	c := circuit.New("lab", 4)
+	c.Labels = []string{"a", "b", "c", "d"}
+	c.AppendNew(circuit.MCT, 3, 0, 1, 2)
+	res, err := ToCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Circuit.Labels) != res.Circuit.Width {
+		t.Fatalf("labels %d for width %d", len(res.Circuit.Labels), res.Circuit.Width)
+	}
+}
+
+func TestCountStats(t *testing.T) {
+	c := circuit.New("stats", 2)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.H, 1)
+	c.AppendNew(circuit.S, 0)
+	st := Count(c)
+	if st.TCount != 1 || st.HCount != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AStates != 1 || st.YStates != 3 { // 2 for T + 1 for S
+		t.Fatalf("ancilla states = %+v", st)
+	}
+	if st.CNOTs != 1+cnotsPerT+cnotsPerH+cnotsPerS {
+		t.Fatalf("CNOTs = %d", st.CNOTs)
+	}
+	if st.Qubits != 2+railsPerT+railsPerH {
+		t.Fatalf("qubits = %d", st.Qubits)
+	}
+	if st.Modules() != st.Qubits+st.CNOTs+st.YStates+st.AStates {
+		t.Fatal("Modules identity broken")
+	}
+}
+
+func TestYStatesAreTwiceAStatesForToffoliNetworks(t *testing.T) {
+	// Pure Toffoli/CNOT networks must reproduce the paper's universal
+	// #|Y⟩ = 2·#|A⟩ ratio (Table 1), since the 7 T gates per Toffoli are
+	// the only ancilla consumers.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		c := circuit.New("net", 5)
+		for i := 0; i < 30; i++ {
+			t1 := rng.Intn(5)
+			c1 := (t1 + 1 + rng.Intn(4)) % 5
+			if rng.Intn(2) == 0 {
+				c2 := (c1 + 1 + rng.Intn(3)) % 5
+				if c2 != t1 && c2 != c1 {
+					c.AppendNew(circuit.Toffoli, t1, c1, c2)
+					continue
+				}
+			}
+			c.AppendNew(circuit.CNOT, t1, c1)
+		}
+		res, err := ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Count(res.Circuit)
+		if st.YStates != 2*st.AStates {
+			t.Fatalf("trial %d: Y=%d A=%d", trial, st.YStates, st.AStates)
+		}
+	}
+}
+
+func TestQuickLoweringAlwaysCliffordT(t *testing.T) {
+	f := func(seed int64, nGates uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(rng, 4+rng.Intn(4), 1+int(nGates%50))
+		res, err := ToCliffordT(c)
+		if err != nil {
+			return false
+		}
+		return cliffordTOnly(res.Circuit) && res.Circuit.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package deform implements geometry-level topological deformation of
+// canonical descriptions (paper §1, Fig. 1(c)): braids slide along the
+// time axis, and independent braids share a time slot, without changing
+// any braiding relation — "the result and canonical braids are
+// topologically equivalent because the relationship between loops remains
+// unchanged".
+//
+// This is the pre-bridging compression rung: it shortens the time axis
+// (list scheduling under rail dependencies and same-slot braid
+// separation) and tightens the per-slot pitch from the canonical 3 units
+// to the 2-unit separation minimum.
+package deform
+
+import (
+	"tqec/internal/canonical"
+	"tqec/internal/geom"
+	"tqec/internal/icm"
+)
+
+// Result is a deformed geometric description with its schedule.
+type Result struct {
+	Description *geom.Description
+	Slots       []int // per-gate time slot
+	Steps       int   // schedule makespan
+	PitchUnits  int
+}
+
+// Volume returns the space-time volume of the deformed description.
+func (r *Result) Volume() int { return r.Description.Volume() }
+
+// TimeCompact deforms the canonical form of rep: braids are list-scheduled
+// into the earliest slot after every braid they depend on (sharing a
+// rail), with braids of overlapping y extent kept one slot apart so their
+// loops keep the one-unit dual–dual separation at the compacted pitch.
+func TimeCompact(rep *icm.Rep) (*Result, error) {
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	const pitchUnits = 2 // separation minimum
+	n := len(rep.CNOTs)
+	slots := make([]int, n)
+	railReady := make([]int, len(rep.Rails))
+	// Per-slot occupied y intervals (rail-index space) of scheduled braids.
+	type span struct{ lo, hi int }
+	slotSpans := map[int][]span{}
+
+	for i, c := range rep.CNOTs {
+		lo, hi := c.Control, c.Target
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Loops extend one half-pitch beyond the outer rails; require a
+		// one-rail gap between same-slot braids.
+		s := span{lo - 1, hi + 1}
+		slot := railReady[c.Control]
+		if railReady[c.Target] > slot {
+			slot = railReady[c.Target]
+		}
+		for {
+			conflict := false
+			for _, o := range slotSpans[slot] {
+				if s.lo <= o.hi && o.lo <= s.hi {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				break
+			}
+			slot++
+		}
+		slots[i] = slot
+		slotSpans[slot] = append(slotSpans[slot], s)
+		railReady[c.Control] = slot + 1
+		railReady[c.Target] = slot + 1
+	}
+	steps := 0
+	for _, s := range slots {
+		if s+1 > steps {
+			steps = s + 1
+		}
+	}
+	desc, err := canonical.DescribeScheduled(rep, slots, pitchUnits)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Description: desc, Slots: slots, Steps: steps, PitchUnits: pitchUnits}, nil
+}

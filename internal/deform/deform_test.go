@@ -1,0 +1,138 @@
+package deform
+
+import (
+	"math/rand"
+	"testing"
+
+	"tqec/internal/canonical"
+	"tqec/internal/circuit"
+	"tqec/internal/decompose"
+	"tqec/internal/icm"
+	"tqec/internal/revlib"
+)
+
+func repOf(t *testing.T, c *circuit.Circuit) *icm.Rep {
+	t.Helper()
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestThreeCNOTDeformation(t *testing.T) {
+	c, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repOf(t, c)
+	res, err := TimeCompact(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three gates share rails pairwise: fully serialized.
+	if res.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", res.Steps)
+	}
+	// Deformation compresses below canonical 54 without bridging
+	// (paper Fig 1(c) reports 32 for a hand-deformed layout).
+	vol := res.Volume()
+	if vol >= 54 {
+		t.Fatalf("deformed volume %d not below canonical 54", vol)
+	}
+	if vol < 32 {
+		t.Fatalf("deformed volume %d below the paper's hand-optimized 32 — braids too close?", vol)
+	}
+	// The braiding relation is preserved exactly.
+	if err := canonical.CheckBraids(rep, res.Description); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Description.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentGatesShareSlots(t *testing.T) {
+	// Two braids on disjoint, well-separated rails share slot 0.
+	c := circuit.New("par", 6)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.CNOT, 5, 4)
+	rep := repOf(t, c)
+	res, err := TimeCompact(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Fatalf("steps = %d, want 1", res.Steps)
+	}
+	if err := canonical.CheckBraids(rep, res.Description); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacentBraidsKeepSeparation(t *testing.T) {
+	// Braids on touching rail intervals must not share a slot (their
+	// loops would violate the one-unit dual separation).
+	c := circuit.New("touch", 4)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.CNOT, 3, 2)
+	rep := repOf(t, c)
+	res, err := TimeCompact(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 2 {
+		t.Fatalf("steps = %d, want 2 (inflated spans conflict)", res.Steps)
+	}
+	if err := res.Description.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeformationAlwaysBeatsOrMatchesCanonicalGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		c := circuit.Random(rng, 5, 12)
+		lowered, err := decompose.ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := repOf(t, lowered.Circuit)
+		res, err := TimeCompact(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, err := canonical.Describe(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Volume() > canon.Volume() {
+			t.Fatalf("trial %d: deformed %d above canonical %d", trial, res.Volume(), canon.Volume())
+		}
+		if err := canonical.CheckBraids(rep, res.Description); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Description.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The schedule respects rail dependencies.
+		last := make(map[int]int)
+		for i, cn := range rep.CNOTs {
+			for _, rail := range []int{cn.Control, cn.Target} {
+				if prev, ok := last[rail]; ok && res.Slots[i] <= prev {
+					t.Fatalf("trial %d: gate %d shares rail %d with an earlier gate in the same slot", trial, i, rail)
+				}
+			}
+			for _, rail := range []int{cn.Control, cn.Target} {
+				last[rail] = res.Slots[i]
+			}
+		}
+	}
+}
+
+func TestRejectsInvalid(t *testing.T) {
+	bad := &icm.Rep{Rails: []icm.Rail{{ID: 0}}, CNOTs: []icm.CNOT{{Control: 0, Target: 0}}}
+	if _, err := TimeCompact(bad); err == nil {
+		t.Fatal("invalid ICM accepted")
+	}
+}

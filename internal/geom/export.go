@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonDescription is the stable on-disk schema for a geometric
+// description. Coordinates are in doubled lattice units (see package doc).
+type jsonDescription struct {
+	Version int          `json:"version"`
+	Defects []jsonDefect `json:"defects"`
+	Boxes   []jsonBox    `json:"boxes,omitempty"`
+}
+
+type jsonDefect struct {
+	Kind  string    `json:"kind"` // "primal" | "dual"
+	Label string    `json:"label,omitempty"`
+	Segs  [][6]int  `json:"segs"` // x1,y1,z1,x2,y2,z2
+	Caps  []jsonCap `json:"caps,omitempty"`
+}
+
+type jsonCap struct {
+	Kind string `json:"kind"` // "Z" | "X" | "inject"
+	At   [3]int `json:"at"`
+}
+
+type jsonBox struct {
+	Kind   string `json:"kind"` // "Y" | "A"
+	At     [3]int `json:"at"`
+	Label  string `json:"label,omitempty"`
+	Output [3]int `json:"output,omitempty"`
+}
+
+// WriteJSON serializes the description as versioned JSON.
+func (g *Description) WriteJSON(w io.Writer) error {
+	out := jsonDescription{Version: 1}
+	for _, d := range g.Defects {
+		jd := jsonDefect{Kind: d.Kind.String(), Label: d.Label}
+		for _, s := range d.Segs {
+			jd.Segs = append(jd.Segs, [6]int{s.A.X, s.A.Y, s.A.Z, s.B.X, s.B.Y, s.B.Z})
+		}
+		for _, c := range d.Caps {
+			if c.Kind == CapNone {
+				continue
+			}
+			jd.Caps = append(jd.Caps, jsonCap{Kind: c.Kind.String(), At: [3]int{c.At.X, c.At.Y, c.At.Z}})
+		}
+		out.Defects = append(out.Defects, jd)
+	}
+	for _, b := range g.Boxes {
+		jb := jsonBox{At: [3]int{b.At.X, b.At.Y, b.At.Z}, Label: b.Label}
+		if b.Kind == BoxY {
+			jb.Kind = "Y"
+		} else {
+			jb.Kind = "A"
+		}
+		if (b.Output != Point{}) {
+			jb.Output = [3]int{b.Output.X, b.Output.Y, b.Output.Z}
+		}
+		out.Boxes = append(out.Boxes, jb)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a description previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Description, error) {
+	var in jsonDescription
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("geom: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("geom: unsupported description version %d", in.Version)
+	}
+	g := &Description{}
+	for _, jd := range in.Defects {
+		d := Defect{Label: jd.Label}
+		switch jd.Kind {
+		case "primal":
+			d.Kind = Primal
+		case "dual":
+			d.Kind = Dual
+		default:
+			return nil, fmt.Errorf("geom: unknown defect kind %q", jd.Kind)
+		}
+		for _, s := range jd.Segs {
+			seg := SegOf(Pt(s[0], s[1], s[2]), Pt(s[3], s[4], s[5]))
+			if !seg.Valid() {
+				return nil, fmt.Errorf("geom: non-rectilinear segment %v", seg)
+			}
+			d.Segs = append(d.Segs, seg)
+		}
+		for _, c := range jd.Caps {
+			cap := Cap{At: Pt(c.At[0], c.At[1], c.At[2])}
+			switch c.Kind {
+			case "Z":
+				cap.Kind = CapZ
+			case "X":
+				cap.Kind = CapX
+			case "inject":
+				cap.Kind = CapInject
+			default:
+				return nil, fmt.Errorf("geom: unknown cap kind %q", c.Kind)
+			}
+			d.Caps = append(d.Caps, cap)
+		}
+		g.Add(d)
+	}
+	for _, jb := range in.Boxes {
+		b := DistillBox{At: Pt(jb.At[0], jb.At[1], jb.At[2]), Label: jb.Label}
+		switch jb.Kind {
+		case "Y":
+			b.Kind = BoxY
+		case "A":
+			b.Kind = BoxA
+		default:
+			return nil, fmt.Errorf("geom: unknown box kind %q", jb.Kind)
+		}
+		if jb.Output != ([3]int{}) {
+			b.Output = Pt(jb.Output[0], jb.Output[1], jb.Output[2])
+		}
+		g.AddBox(b)
+	}
+	return g, nil
+}
+
+// WriteOBJ exports the description as a Wavefront OBJ mesh: every defect
+// segment becomes a thin axis-aligned cuboid (primal thicker than dual for
+// visual contrast) and every distillation box a cuboid. Any mesh viewer
+// renders the result; y is up in the OBJ convention, so the time axis (x)
+// stays x and the TQEC z axis maps to OBJ −z.
+func (g *Description) WriteOBJ(w io.Writer) error {
+	const (
+		primalHalf = 0.30
+		dualHalf   = 0.18
+	)
+	vertex := 0
+	emitCuboid := func(minX, minY, minZ, maxX, maxY, maxZ float64, group string) error {
+		if _, err := fmt.Fprintf(w, "g %s\n", group); err != nil {
+			return err
+		}
+		xs := [2]float64{minX, maxX}
+		ys := [2]float64{minY, maxY}
+		zs := [2]float64{minZ, maxZ}
+		for _, x := range xs {
+			for _, y := range ys {
+				for _, z := range zs {
+					if _, err := fmt.Fprintf(w, "v %g %g %g\n", x, y, -z); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// Vertex order: index = ((xi*2)+yi)*2+zi + 1 (1-based), offset by
+		// the running count.
+		b := vertex
+		faces := [6][4]int{
+			{1, 2, 4, 3}, // x = min
+			{5, 7, 8, 6}, // x = max
+			{1, 5, 6, 2}, // y = min
+			{3, 4, 8, 7}, // y = max
+			{1, 3, 7, 5}, // z = min
+			{2, 6, 8, 4}, // z = max
+		}
+		for _, f := range faces {
+			if _, err := fmt.Fprintf(w, "f %d %d %d %d\n", b+f[0], b+f[1], b+f[2], b+f[3]); err != nil {
+				return err
+			}
+		}
+		vertex += 8
+		return nil
+	}
+
+	if _, err := fmt.Fprintln(w, "# TQEC geometric description"); err != nil {
+		return err
+	}
+	for i, d := range g.Defects {
+		half := primalHalf
+		group := fmt.Sprintf("primal_%d", i)
+		if d.Kind == Dual {
+			half = dualHalf
+			group = fmt.Sprintf("dual_%d", i)
+		}
+		if d.Label != "" {
+			group = d.Label
+		}
+		for _, s := range d.Segs {
+			c := s.Canon()
+			if err := emitCuboid(
+				float64(c.A.X)-half, float64(c.A.Y)-half, float64(c.A.Z)-half,
+				float64(c.B.X)+half, float64(c.B.Y)+half, float64(c.B.Z)+half,
+				group); err != nil {
+				return err
+			}
+		}
+	}
+	for i, bx := range g.Boxes {
+		bb := bx.Bounds()
+		group := fmt.Sprintf("box_%s_%d", bx.Kind, i)
+		if bx.Label != "" {
+			group = bx.Label
+		}
+		if err := emitCuboid(
+			float64(bb.Min.X), float64(bb.Min.Y), float64(bb.Min.Z),
+			float64(bb.Max.X), float64(bb.Max.Y), float64(bb.Max.Z),
+			group); err != nil {
+			return err
+		}
+	}
+	return nil
+}

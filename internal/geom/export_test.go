@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func sampleDescription() *Description {
+	var g Description
+	d := Defect{Kind: Primal, Label: "rail0"}
+	d.AddSeg(SegOf(Pt(0, 0, 0), Pt(8, 0, 0)))
+	d.Caps = append(d.Caps,
+		Cap{Kind: CapZ, At: Pt(0, 0, 0)},
+		Cap{Kind: CapNone, At: Pt(8, 0, 0)})
+	g.Add(d)
+	du := Defect{Kind: Dual, Label: "net0"}
+	du.AddPath(Path{Pt(1, 1, 1), Pt(5, 1, 1), Pt(5, 5, 1)})
+	du.Caps = append(du.Caps, Cap{Kind: CapInject, At: Pt(1, 1, 1)})
+	g.Add(du)
+	g.AddBox(DistillBox{Kind: BoxY, At: Pt(10, 0, 0), Label: "y0"})
+	g.AddBox(DistillBox{Kind: BoxA, At: Pt(20, 0, 0), Output: Pt(21, 1, 1)})
+	return &g
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sampleDescription()
+	var sb strings.Builder
+	if err := g.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if len(back.Defects) != 2 || len(back.Boxes) != 2 {
+		t.Fatalf("shape: %v", back)
+	}
+	if back.Defects[0].Kind != Primal || back.Defects[0].Label != "rail0" {
+		t.Fatalf("defect 0: %+v", back.Defects[0])
+	}
+	if len(back.Defects[1].Segs) != 2 {
+		t.Fatalf("dual segs: %v", back.Defects[1].Segs)
+	}
+	// CapNone entries are dropped; the Z cap survives.
+	if len(back.Defects[0].Caps) != 1 || back.Defects[0].Caps[0].Kind != CapZ {
+		t.Fatalf("caps: %v", back.Defects[0].Caps)
+	}
+	if back.Boxes[1].Output != Pt(21, 1, 1) {
+		t.Fatalf("box output: %+v", back.Boxes[1])
+	}
+	if back.Volume() != g.Volume() {
+		t.Fatalf("volume changed: %d vs %d", back.Volume(), g.Volume())
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{",
+		"bad version":  `{"version":2,"defects":[]}`,
+		"bad kind":     `{"version":1,"defects":[{"kind":"weird","segs":[]}]}`,
+		"bad cap":      `{"version":1,"defects":[{"kind":"primal","segs":[],"caps":[{"kind":"w","at":[0,0,0]}]}]}`,
+		"bad box":      `{"version":1,"defects":[],"boxes":[{"kind":"Q","at":[0,0,0]}]}`,
+		"diagonal seg": `{"version":1,"defects":[{"kind":"primal","segs":[[0,0,0,1,1,0]]}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteOBJ(t *testing.T) {
+	g := sampleDescription()
+	var sb strings.Builder
+	if err := g.WriteOBJ(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 3 segments + 2 boxes = 5 cuboids = 40 vertices, 30 faces.
+	if got := strings.Count(out, "\nv "); got != 40 {
+		t.Fatalf("vertices = %d, want 40", got)
+	}
+	if got := strings.Count(out, "\nf "); got != 30 {
+		t.Fatalf("faces = %d, want 30", got)
+	}
+	for _, want := range []string{"g rail0", "g net0", "g y0", "g box_|A>_1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing group %q", want)
+		}
+	}
+	// Face indices must be within the vertex count.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "f ") {
+			continue
+		}
+		var a, b, c, d int
+		if _, err := fmt.Sscanf(line, "f %d %d %d %d", &a, &b, &c, &d); err != nil {
+			t.Fatalf("face line %q: %v", line, err)
+		}
+		for _, idx := range []int{a, b, c, d} {
+			if idx < 1 || idx > 40 {
+				t.Fatalf("face index %d out of range in %q", idx, line)
+			}
+		}
+	}
+}

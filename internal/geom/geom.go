@@ -1,0 +1,489 @@
+// Package geom models the three-dimensional space-time lattice used by
+// geometric descriptions of topologically quantum-error-corrected (TQEC)
+// circuits.
+//
+// Following the paper's convention, the x axis is time and the y and z axes
+// are space. All coordinates are stored in a "doubled" integer lattice:
+// one paper unit equals two doubled steps. Primal lattice sites sit at even
+// coordinates and dual lattice sites at odd coordinates, which makes the
+// half-unit offset between the primal and dual sub-lattices, and the
+// "two disjoint defects are separated by one unit" rule, exact integer
+// arithmetic with no floating point.
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Unit is the number of doubled lattice steps in one paper unit.
+const Unit = 2
+
+// Axis identifies one of the three lattice axes.
+type Axis int
+
+// The three axes. X is the time axis; Y and Z span the code surface.
+const (
+	X Axis = iota
+	Y
+	Z
+)
+
+// Axes lists the three axes in canonical order.
+var Axes = [3]Axis{X, Y, Z}
+
+// String returns the lower-case axis name.
+func (a Axis) String() string {
+	switch a {
+	case X:
+		return "x"
+	case Y:
+		return "y"
+	case Z:
+		return "z"
+	}
+	return fmt.Sprintf("axis(%d)", int(a))
+}
+
+// Others returns the two axes other than a, in canonical order.
+func (a Axis) Others() (Axis, Axis) {
+	switch a {
+	case X:
+		return Y, Z
+	case Y:
+		return X, Z
+	default:
+		return X, Y
+	}
+}
+
+// Kind distinguishes the two defect sub-lattices of the surface code.
+type Kind int
+
+// Defect kinds. Primal defects correspond to deactivated X stabilizers and
+// dual defects to deactivated Z stabilizers.
+const (
+	Primal Kind = iota
+	Dual
+)
+
+// String returns "primal" or "dual".
+func (k Kind) String() string {
+	if k == Primal {
+		return "primal"
+	}
+	return "dual"
+}
+
+// Opposite returns the other defect kind.
+func (k Kind) Opposite() Kind {
+	if k == Primal {
+		return Dual
+	}
+	return Primal
+}
+
+// Parity returns the coordinate parity (0 or 1) of lattice sites of kind k.
+func (k Kind) Parity() int {
+	if k == Primal {
+		return 0
+	}
+	return 1
+}
+
+// Point is a site of the doubled lattice.
+type Point struct {
+	X, Y, Z int
+}
+
+// Pt is shorthand for Point{x, y, z}.
+func Pt(x, y, z int) Point { return Point{x, y, z} }
+
+// String renders the point as "(x,y,z)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d,%d)", p.X, p.Y, p.Z) }
+
+// Get returns the coordinate of p along axis a.
+func (p Point) Get(a Axis) int {
+	switch a {
+	case X:
+		return p.X
+	case Y:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+// With returns a copy of p with the coordinate along a replaced by v.
+func (p Point) With(a Axis, v int) Point {
+	switch a {
+	case X:
+		p.X = v
+	case Y:
+		p.Y = v
+	default:
+		p.Z = v
+	}
+	return p
+}
+
+// Add returns the component-wise sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns the component-wise difference p−q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns p with every coordinate multiplied by k.
+func (p Point) Scale(k int) Point { return Point{p.X * k, p.Y * k, p.Z * k} }
+
+// Shift returns p translated by d doubled steps along axis a.
+func (p Point) Shift(a Axis, d int) Point { return p.With(a, p.Get(a)+d) }
+
+// Manhattan returns the L1 distance between p and q in doubled steps.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y) + abs(p.Z-q.Z)
+}
+
+// OnLattice reports whether p lies on the sub-lattice of kind k, i.e.
+// whether every coordinate has the parity of k.
+func (p Point) OnLattice(k Kind) bool {
+	par := k.Parity()
+	return p.X&1 == par && p.Y&1 == par && p.Z&1 == par
+}
+
+// Less orders points lexicographically by (X, Y, Z).
+func (p Point) Less(q Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	if p.Y != q.Y {
+		return p.Y < q.Y
+	}
+	return p.Z < q.Z
+}
+
+// Seg is a closed axis-aligned segment between two lattice points that
+// differ along exactly one axis (or coincide; zero-length segments are
+// permitted as degenerate stubs).
+type Seg struct {
+	A, B Point
+}
+
+// SegOf builds the segment from a to b.
+func SegOf(a, b Point) Seg { return Seg{a, b} }
+
+// String renders the segment as "a-b".
+func (s Seg) String() string { return fmt.Sprintf("%v-%v", s.A, s.B) }
+
+// Valid reports whether the segment is axis-aligned.
+func (s Seg) Valid() bool {
+	d := 0
+	if s.A.X != s.B.X {
+		d++
+	}
+	if s.A.Y != s.B.Y {
+		d++
+	}
+	if s.A.Z != s.B.Z {
+		d++
+	}
+	return d <= 1
+}
+
+// Axis returns the axis along which the segment extends. Degenerate
+// (zero-length) segments report X.
+func (s Seg) Axis() Axis {
+	switch {
+	case s.A.Y != s.B.Y:
+		return Y
+	case s.A.Z != s.B.Z:
+		return Z
+	default:
+		return X
+	}
+}
+
+// Len returns the segment length in doubled steps.
+func (s Seg) Len() int { return s.A.Manhattan(s.B) }
+
+// Canon returns the segment with endpoints ordered so A ≤ B.
+func (s Seg) Canon() Seg {
+	if s.B.Less(s.A) {
+		s.A, s.B = s.B, s.A
+	}
+	return s
+}
+
+// Reversed returns the segment with swapped endpoints.
+func (s Seg) Reversed() Seg { return Seg{s.B, s.A} }
+
+// Bounds returns the axis-aligned bounding box of the segment.
+func (s Seg) Bounds() Box {
+	c := s.Canon()
+	return Box{Min: c.A, Max: c.B}
+}
+
+// Points enumerates the lattice points of the segment at the given stride
+// in doubled steps (stride Unit visits unit-spaced sites).
+func (s Seg) Points(stride int) []Point {
+	if stride <= 0 {
+		stride = Unit
+	}
+	a := s.Axis()
+	c := s.Canon()
+	lo, hi := c.A.Get(a), c.B.Get(a)
+	var pts []Point
+	for v := lo; v <= hi; v += stride {
+		pts = append(pts, c.A.With(a, v))
+	}
+	if len(pts) == 0 || pts[len(pts)-1] != c.B {
+		pts = append(pts, c.B)
+	}
+	return pts
+}
+
+// Contains reports whether point p lies on the segment.
+func (s Seg) Contains(p Point) bool {
+	if !s.Valid() {
+		return false
+	}
+	a := s.Axis()
+	c := s.Canon()
+	o1, o2 := a.Others()
+	if p.Get(o1) != c.A.Get(o1) || p.Get(o2) != c.A.Get(o2) {
+		return false
+	}
+	return c.A.Get(a) <= p.Get(a) && p.Get(a) <= c.B.Get(a)
+}
+
+// Dist returns the L∞-style rectilinear separation between two axis-aligned
+// segments in doubled steps: the maximum over axes of the gap between their
+// per-axis intervals (zero when the intervals overlap on every axis, i.e.
+// the segments touch or cross).
+func Dist(s, t Seg) int {
+	d := 0
+	for _, a := range Axes {
+		lo1, hi1 := interval(s, a)
+		lo2, hi2 := interval(t, a)
+		g := gap(lo1, hi1, lo2, hi2)
+		if g > d {
+			d = g
+		}
+	}
+	return d
+}
+
+func interval(s Seg, a Axis) (lo, hi int) {
+	lo, hi = s.A.Get(a), s.B.Get(a)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+func gap(lo1, hi1, lo2, hi2 int) int {
+	switch {
+	case hi1 < lo2:
+		return lo2 - hi1
+	case hi2 < lo1:
+		return lo1 - hi2
+	default:
+		return 0
+	}
+}
+
+// Box is an axis-aligned box given by inclusive corner points.
+type Box struct {
+	Min, Max Point
+}
+
+// EmptyBox returns a canonical empty box that Union and Expand treat as the
+// identity element.
+func EmptyBox() Box {
+	const big = int(^uint(0) >> 2)
+	return Box{Min: Pt(big, big, big), Max: Pt(-big, -big, -big)}
+}
+
+// Empty reports whether b is an empty box.
+func (b Box) Empty() bool {
+	return b.Max.X < b.Min.X || b.Max.Y < b.Min.Y || b.Max.Z < b.Min.Z
+}
+
+// Expand grows the box to include point p.
+func (b Box) Expand(p Point) Box {
+	if b.Empty() {
+		return Box{Min: p, Max: p}
+	}
+	b.Min = Pt(min(b.Min.X, p.X), min(b.Min.Y, p.Y), min(b.Min.Z, p.Z))
+	b.Max = Pt(max(b.Max.X, p.X), max(b.Max.Y, p.Y), max(b.Max.Z, p.Z))
+	return b
+}
+
+// Union returns the smallest box containing both b and o.
+func (b Box) Union(o Box) Box {
+	if o.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return o
+	}
+	return b.Expand(o.Min).Expand(o.Max)
+}
+
+// Inflate grows the box by d doubled steps on every side.
+func (b Box) Inflate(d int) Box {
+	if b.Empty() {
+		return b
+	}
+	b.Min = b.Min.Add(Pt(-d, -d, -d))
+	b.Max = b.Max.Add(Pt(d, d, d))
+	return b
+}
+
+// ContainsPoint reports whether p lies inside the closed box.
+func (b Box) ContainsPoint(p Point) bool {
+	return b.Min.X <= p.X && p.X <= b.Max.X &&
+		b.Min.Y <= p.Y && p.Y <= b.Max.Y &&
+		b.Min.Z <= p.Z && p.Z <= b.Max.Z
+}
+
+// Overlaps reports whether the two closed boxes intersect.
+func (b Box) Overlaps(o Box) bool {
+	if b.Empty() || o.Empty() {
+		return false
+	}
+	return b.Min.X <= o.Max.X && o.Min.X <= b.Max.X &&
+		b.Min.Y <= o.Max.Y && o.Min.Y <= b.Max.Y &&
+		b.Min.Z <= o.Max.Z && o.Min.Z <= b.Max.Z
+}
+
+// Translate shifts the whole box by delta.
+func (b Box) Translate(delta Point) Box {
+	if b.Empty() {
+		return b
+	}
+	return Box{Min: b.Min.Add(delta), Max: b.Max.Add(delta)}
+}
+
+// Span returns the extent of the box along axis a in doubled steps.
+func (b Box) Span(a Axis) int {
+	if b.Empty() {
+		return 0
+	}
+	return b.Max.Get(a) - b.Min.Get(a)
+}
+
+// UnitDims returns the paper-unit cell counts (#x, #y, #z) of the box: each
+// extent divided by Unit, with a floor of one so that flat structures count
+// a single layer of cells, matching the paper's 9×3×2 and 2×1×3 arithmetic.
+func (b Box) UnitDims() (nx, ny, nz int) {
+	if b.Empty() {
+		return 0, 0, 0
+	}
+	dim := func(a Axis) int {
+		n := b.Span(a) / Unit
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return dim(X), dim(Y), dim(Z)
+}
+
+// Volume returns the space-time volume of the box in paper units,
+// #x × #y × #z.
+func (b Box) Volume() int {
+	nx, ny, nz := b.UnitDims()
+	return nx * ny * nz
+}
+
+// Path is a rectilinear polyline given by its vertices. Consecutive
+// vertices must differ along exactly one axis.
+type Path []Point
+
+// Segs expands the polyline into its segments, dropping zero-length ones.
+func (p Path) Segs() []Seg {
+	var out []Seg
+	for i := 1; i < len(p); i++ {
+		if p[i] == p[i-1] {
+			continue
+		}
+		out = append(out, Seg{p[i-1], p[i]})
+	}
+	return out
+}
+
+// Valid reports whether every edge of the polyline is axis-aligned.
+func (p Path) Valid() bool {
+	for _, s := range p.Segs() {
+		if !s.Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the total length of the polyline in doubled steps.
+func (p Path) Len() int {
+	n := 0
+	for _, s := range p.Segs() {
+		n += s.Len()
+	}
+	return n
+}
+
+// Closed reports whether the polyline returns to its starting point.
+func (p Path) Closed() bool { return len(p) > 1 && p[0] == p[len(p)-1] }
+
+// Simplify merges consecutive collinear edges and removes zero-length ones.
+func (p Path) Simplify() Path {
+	if len(p) == 0 {
+		return nil
+	}
+	out := Path{p[0]}
+	for i := 1; i < len(p); i++ {
+		if p[i] == out[len(out)-1] {
+			continue
+		}
+		if len(out) >= 2 {
+			s1 := Seg{out[len(out)-2], out[len(out)-1]}
+			s2 := Seg{out[len(out)-1], p[i]}
+			if s1.Axis() == s2.Axis() && sameDir(s1, s2) {
+				out[len(out)-1] = p[i]
+				continue
+			}
+		}
+		out = append(out, p[i])
+	}
+	return out
+}
+
+func sameDir(s1, s2 Seg) bool {
+	a := s1.Axis()
+	d1 := sign(s1.B.Get(a) - s1.A.Get(a))
+	d2 := sign(s2.B.Get(a) - s2.A.Get(a))
+	return d1 == d2 || d1 == 0 || d2 == 0
+}
+
+// SortPoints orders a point slice lexicographically in place.
+func SortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Less(pts[j]) })
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

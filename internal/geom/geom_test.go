@@ -1,0 +1,588 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAxisString(t *testing.T) {
+	if X.String() != "x" || Y.String() != "y" || Z.String() != "z" {
+		t.Fatalf("axis names wrong: %v %v %v", X, Y, Z)
+	}
+	if Axis(9).String() == "" {
+		t.Fatal("unknown axis should still render")
+	}
+}
+
+func TestAxisOthers(t *testing.T) {
+	cases := []struct {
+		a      Axis
+		b1, b2 Axis
+	}{{X, Y, Z}, {Y, X, Z}, {Z, X, Y}}
+	for _, c := range cases {
+		o1, o2 := c.a.Others()
+		if o1 != c.b1 || o2 != c.b2 {
+			t.Errorf("%v.Others() = %v,%v want %v,%v", c.a, o1, o2, c.b1, c.b2)
+		}
+	}
+}
+
+func TestKind(t *testing.T) {
+	if Primal.Opposite() != Dual || Dual.Opposite() != Primal {
+		t.Fatal("Opposite broken")
+	}
+	if Primal.Parity() != 0 || Dual.Parity() != 1 {
+		t.Fatal("Parity broken")
+	}
+	if Primal.String() != "primal" || Dual.String() != "dual" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestPointAccessors(t *testing.T) {
+	p := Pt(1, 2, 3)
+	if p.Get(X) != 1 || p.Get(Y) != 2 || p.Get(Z) != 3 {
+		t.Fatal("Get broken")
+	}
+	q := p.With(Y, 7)
+	if q != Pt(1, 7, 3) || p != Pt(1, 2, 3) {
+		t.Fatal("With must not mutate the receiver")
+	}
+	if p.Add(Pt(1, 1, 1)) != Pt(2, 3, 4) {
+		t.Fatal("Add broken")
+	}
+	if p.Sub(Pt(1, 1, 1)) != Pt(0, 1, 2) {
+		t.Fatal("Sub broken")
+	}
+	if p.Scale(2) != Pt(2, 4, 6) {
+		t.Fatal("Scale broken")
+	}
+	if p.Shift(Z, -3) != Pt(1, 2, 0) {
+		t.Fatal("Shift broken")
+	}
+	if p.Manhattan(Pt(0, 0, 0)) != 6 {
+		t.Fatal("Manhattan broken")
+	}
+}
+
+func TestPointOnLattice(t *testing.T) {
+	if !Pt(0, 2, 4).OnLattice(Primal) {
+		t.Fatal("even point should be primal")
+	}
+	if !Pt(1, 3, 5).OnLattice(Dual) {
+		t.Fatal("odd point should be dual")
+	}
+	if Pt(0, 1, 2).OnLattice(Primal) || Pt(0, 1, 2).OnLattice(Dual) {
+		t.Fatal("mixed-parity point is on neither lattice")
+	}
+}
+
+func TestPointLess(t *testing.T) {
+	if !Pt(0, 0, 0).Less(Pt(1, 0, 0)) || !Pt(0, 0, 0).Less(Pt(0, 1, 0)) || !Pt(0, 0, 0).Less(Pt(0, 0, 1)) {
+		t.Fatal("Less ordering broken")
+	}
+	if Pt(1, 0, 0).Less(Pt(0, 9, 9)) {
+		t.Fatal("X must dominate ordering")
+	}
+}
+
+func TestSegBasics(t *testing.T) {
+	s := SegOf(Pt(0, 0, 0), Pt(6, 0, 0))
+	if !s.Valid() || s.Axis() != X || s.Len() != 6 {
+		t.Fatalf("segment basics broken: %v", s)
+	}
+	if SegOf(Pt(0, 0, 0), Pt(1, 1, 0)).Valid() {
+		t.Fatal("diagonal segment must be invalid")
+	}
+	r := s.Reversed()
+	if r.A != s.B || r.B != s.A {
+		t.Fatal("Reversed broken")
+	}
+	c := r.Canon()
+	if c.A != Pt(0, 0, 0) {
+		t.Fatal("Canon must order endpoints")
+	}
+	if SegOf(Pt(0, 0, 0), Pt(0, 0, 0)).Axis() != X {
+		t.Fatal("degenerate segment reports X")
+	}
+}
+
+func TestSegContains(t *testing.T) {
+	s := SegOf(Pt(0, 2, 2), Pt(8, 2, 2))
+	if !s.Contains(Pt(4, 2, 2)) || !s.Contains(Pt(0, 2, 2)) || !s.Contains(Pt(8, 2, 2)) {
+		t.Fatal("Contains misses interior or endpoints")
+	}
+	if s.Contains(Pt(4, 3, 2)) || s.Contains(Pt(10, 2, 2)) {
+		t.Fatal("Contains accepts outside points")
+	}
+}
+
+func TestSegPoints(t *testing.T) {
+	s := SegOf(Pt(0, 0, 0), Pt(4, 0, 0))
+	pts := s.Points(Unit)
+	if len(pts) != 3 || pts[0] != Pt(0, 0, 0) || pts[2] != Pt(4, 0, 0) {
+		t.Fatalf("Points(%d) = %v", Unit, pts)
+	}
+	pts = SegOf(Pt(0, 0, 0), Pt(3, 0, 0)).Points(Unit)
+	if pts[len(pts)-1] != Pt(3, 0, 0) {
+		t.Fatal("Points must include far endpoint even off-stride")
+	}
+	if got := s.Points(0); len(got) != 3 {
+		t.Fatalf("Points(0) should default stride: %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := SegOf(Pt(0, 0, 0), Pt(4, 0, 0))
+	cases := []struct {
+		b    Seg
+		want int
+	}{
+		{SegOf(Pt(0, 2, 0), Pt(4, 2, 0)), 2},   // parallel, one unit apart
+		{SegOf(Pt(2, -2, 0), Pt(2, 2, 0)), 0},  // crossing
+		{SegOf(Pt(6, 0, 0), Pt(8, 0, 0)), 2},   // collinear with gap
+		{SegOf(Pt(0, 0, 0), Pt(0, 4, 0)), 0},   // touching at endpoint
+		{SegOf(Pt(5, 3, 4), Pt(9, 3, 4)), 4},   // offset in several axes: max gap
+		{SegOf(Pt(-4, 0, 0), Pt(-2, 0, 0)), 2}, // gap on the low side
+		{SegOf(Pt(0, 1, 1), Pt(4, 1, 1)), 1},   // sub-unit clearance
+	}
+	for i, c := range cases {
+		if got := Dist(a, c.b); got != c.want {
+			t.Errorf("case %d: Dist = %d, want %d", i, got, c.want)
+		}
+		if got := Dist(c.b, a); got != c.want {
+			t.Errorf("case %d: Dist not symmetric", i)
+		}
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := EmptyBox()
+	if !b.Empty() {
+		t.Fatal("EmptyBox not empty")
+	}
+	b = b.Expand(Pt(2, 2, 2))
+	if b.Empty() || b.Min != Pt(2, 2, 2) || b.Max != Pt(2, 2, 2) {
+		t.Fatal("Expand on empty broken")
+	}
+	b = b.Expand(Pt(0, 4, 2))
+	if b.Min != Pt(0, 2, 2) || b.Max != Pt(2, 4, 2) {
+		t.Fatalf("Expand broken: %+v", b)
+	}
+	u := b.Union(Box{Min: Pt(10, 10, 10), Max: Pt(12, 12, 12)})
+	if u.Max != Pt(12, 12, 12) || u.Min != Pt(0, 2, 2) {
+		t.Fatalf("Union broken: %+v", u)
+	}
+	if got := b.Union(EmptyBox()); got != b {
+		t.Fatal("Union with empty must be identity")
+	}
+	if got := EmptyBox().Union(b); got != b {
+		t.Fatal("Union from empty must adopt other")
+	}
+	if !b.ContainsPoint(Pt(1, 3, 2)) || b.ContainsPoint(Pt(3, 3, 2)) {
+		t.Fatal("ContainsPoint broken")
+	}
+	if !b.Overlaps(Box{Min: Pt(2, 2, 2), Max: Pt(5, 5, 5)}) {
+		t.Fatal("Overlaps must include touching boxes")
+	}
+	if b.Overlaps(EmptyBox()) || EmptyBox().Overlaps(b) {
+		t.Fatal("empty boxes overlap nothing")
+	}
+	tr := b.Translate(Pt(1, 1, 1))
+	if tr.Min != Pt(1, 3, 3) {
+		t.Fatal("Translate broken")
+	}
+	if EmptyBox().Translate(Pt(1, 1, 1)).Empty() != true {
+		t.Fatal("translating empty box stays empty")
+	}
+	if b.Inflate(2).Min != Pt(-2, 0, 0) {
+		t.Fatal("Inflate broken")
+	}
+}
+
+func TestBoxVolumeMatchesPaperArithmetic(t *testing.T) {
+	// Canonical 3-CNOT bounding box: 9×3×2 units = 54 (Fig 1(b)).
+	b := Box{Min: Pt(0, 0, 0), Max: Pt(9*Unit, 3*Unit, 2*Unit)}
+	nx, ny, nz := b.UnitDims()
+	if nx != 9 || ny != 3 || nz != 2 || b.Volume() != 54 {
+		t.Fatalf("canonical box = %d×%d×%d vol %d, want 9×3×2 = 54", nx, ny, nz, b.Volume())
+	}
+	// Fully compressed 3-CNOT: 2×1×3 = 6 (Fig 1(e)); a flat axis counts 1.
+	b = Box{Min: Pt(0, 0, 0), Max: Pt(2*Unit, 0, 3*Unit)}
+	nx, ny, nz = b.UnitDims()
+	if nx != 2 || ny != 1 || nz != 3 || b.Volume() != 6 {
+		t.Fatalf("compressed box = %d×%d×%d vol %d, want 2×1×3 = 6", nx, ny, nz, b.Volume())
+	}
+	if EmptyBox().Volume() != 0 {
+		t.Fatal("empty box volume must be 0")
+	}
+}
+
+func TestPath(t *testing.T) {
+	p := Path{Pt(0, 0, 0), Pt(4, 0, 0), Pt(4, 4, 0), Pt(4, 4, 0), Pt(4, 4, 4)}
+	if !p.Valid() {
+		t.Fatal("rectilinear path must be valid")
+	}
+	if p.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", p.Len())
+	}
+	segs := p.Segs()
+	if len(segs) != 3 {
+		t.Fatalf("Segs dropped wrong count: %v", segs)
+	}
+	if p.Closed() {
+		t.Fatal("open path misreported closed")
+	}
+	loop := Path{Pt(0, 0, 0), Pt(4, 0, 0), Pt(4, 4, 0), Pt(0, 4, 0), Pt(0, 0, 0)}
+	if !loop.Closed() {
+		t.Fatal("closed path misreported open")
+	}
+	if (Path{Pt(0, 0, 0), Pt(1, 1, 0)}).Valid() {
+		t.Fatal("diagonal path must be invalid")
+	}
+}
+
+func TestPathSimplify(t *testing.T) {
+	p := Path{Pt(0, 0, 0), Pt(2, 0, 0), Pt(4, 0, 0), Pt(4, 0, 0), Pt(4, 2, 0)}
+	s := p.Simplify()
+	if len(s) != 3 || s[0] != Pt(0, 0, 0) || s[1] != Pt(4, 0, 0) || s[2] != Pt(4, 2, 0) {
+		t.Fatalf("Simplify = %v", s)
+	}
+	if got := (Path{}).Simplify(); got != nil {
+		t.Fatalf("empty simplify = %v", got)
+	}
+	// A path that doubles back must keep its turning point.
+	back := Path{Pt(0, 0, 0), Pt(4, 0, 0), Pt(2, 0, 0)}
+	if got := back.Simplify(); len(got) != 3 {
+		t.Fatalf("double-back simplified away: %v", got)
+	}
+}
+
+func TestRingPierces(t *testing.T) {
+	// Primal ring in the plane x=4 spanning y:[0,8], z:[0,4].
+	r := RingAround(Primal, X, 4, 0, 8, 0, 4)
+	if r.Degenerate() {
+		t.Fatal("ring should not be degenerate")
+	}
+	through := SegOf(Pt(0, 4, 2), Pt(8, 4, 2))
+	if !r.Pierces(through) {
+		t.Fatal("central crossing must pierce")
+	}
+	if r.Pierces(SegOf(Pt(0, 0, 2), Pt(8, 0, 2))) {
+		t.Fatal("crossing on the ring edge must not pierce (boundary is closed)")
+	}
+	if r.Pierces(SegOf(Pt(0, 4, 2), Pt(4, 4, 2))) {
+		t.Fatal("segment ending on the plane does not cross strictly")
+	}
+	if r.Pierces(SegOf(Pt(0, 4, 2), Pt(0, 6, 2))) {
+		t.Fatal("segment not parallel to normal cannot pierce")
+	}
+	if r.Pierces(SegOf(Pt(6, 4, 2), Pt(10, 4, 2))) {
+		t.Fatal("crossing the wrong plane region must not pierce")
+	}
+	deg := RingAround(Primal, X, 4, 0, 0, 0, 4)
+	if deg.Pierces(through) {
+		t.Fatal("degenerate ring cannot be pierced")
+	}
+}
+
+func TestRingPathAndBounds(t *testing.T) {
+	r := RingAround(Dual, Z, 1, 1, 5, 3, 7)
+	p := r.Path()
+	if !p.Closed() || len(p.Segs()) != 4 {
+		t.Fatalf("ring path wrong: %v", p)
+	}
+	b := r.Bounds()
+	if b.Min != Pt(1, 3, 1) || b.Max != Pt(5, 7, 1) {
+		t.Fatalf("ring bounds wrong: %+v", b)
+	}
+	tr := r.Translate(Pt(2, 2, 2))
+	if tr.At != 3 || tr.Lo1 != 3 || tr.Lo2 != 5 {
+		t.Fatalf("ring translate wrong: %+v", tr)
+	}
+	if RingAround(Primal, X, 0, 5, 1, 7, 3).Lo1 != 1 {
+		t.Fatal("RingAround must normalize bounds order")
+	}
+}
+
+func TestRingLinked(t *testing.T) {
+	r := RingAround(Primal, X, 4, 0, 8, 0, 4)
+	// A dual loop threading the ring once: crosses x=4 at (y=4,z=2) going
+	// +x, and returns outside the rectangle (above y=8).
+	loop := Path{
+		Pt(0, 4, 2), Pt(8, 4, 2), // pierce
+		Pt(8, 10, 2), Pt(0, 10, 2), // return outside
+		Pt(0, 4, 2),
+	}
+	if !r.Linked(loop) {
+		t.Fatal("threading loop must link")
+	}
+	// A loop passing entirely outside is unlinked.
+	out := Path{Pt(10, 0, 0), Pt(12, 0, 0), Pt(12, 2, 0), Pt(10, 2, 0), Pt(10, 0, 0)}
+	if r.Linked(out) {
+		t.Fatal("outside loop must not link")
+	}
+	// A loop crossing in and back through the rectangle is unlinked (even parity).
+	inout := Path{
+		Pt(0, 4, 2), Pt(8, 4, 2),
+		Pt(8, 6, 2), Pt(0, 6, 2),
+		Pt(0, 4, 2),
+	}
+	if r.Linked(inout) {
+		t.Fatal("in-and-out loop must not link")
+	}
+	if r.Linked(Path{Pt(0, 4, 2), Pt(8, 4, 2)}) {
+		t.Fatal("open path can never be linked")
+	}
+}
+
+func TestRingPierceCount(t *testing.T) {
+	r := RingAround(Primal, X, 4, 0, 8, 0, 4)
+	p := Path{Pt(0, 4, 2), Pt(8, 4, 2), Pt(8, 6, 2), Pt(0, 6, 2)}
+	if got := r.PierceCount(p); got != 2 {
+		t.Fatalf("PierceCount = %d, want 2", got)
+	}
+}
+
+func TestQuickDistSymmetricNonNegative(t *testing.T) {
+	f := func(ax, ay, az, bl int8, aAxis uint8, cx, cy, cz, dl int8, bAxis uint8) bool {
+		s1 := SegOf(Pt(int(ax), int(ay), int(az)), Pt(int(ax), int(ay), int(az)).Shift(Axis(aAxis%3), int(bl)))
+		s2 := SegOf(Pt(int(cx), int(cy), int(cz)), Pt(int(cx), int(cy), int(cz)).Shift(Axis(bAxis%3), int(dl)))
+		d1, d2 := Dist(s1, s2), Dist(s2, s1)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBoxExpandContains(t *testing.T) {
+	f := func(pts [][3]int8) bool {
+		b := EmptyBox()
+		var all []Point
+		for _, c := range pts {
+			p := Pt(int(c[0]), int(c[1]), int(c[2]))
+			all = append(all, p)
+			b = b.Expand(p)
+		}
+		for _, p := range all {
+			if !b.ContainsPoint(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSimplifyPreservesEndpointsAndLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := Path{Pt(0, 0, 0)}
+		for j := 0; j < 1+rng.Intn(10); j++ {
+			a := Axis(rng.Intn(3))
+			d := (rng.Intn(5) - 2) * Unit
+			p = append(p, p[len(p)-1].Shift(a, d))
+		}
+		s := p.Simplify()
+		if s[0] != p[0] || s[len(s)-1] != p[len(p)-1] {
+			t.Fatalf("Simplify moved endpoints: %v -> %v", p, s)
+		}
+		if s.Len() != p.Len() {
+			t.Fatalf("Simplify changed length: %v -> %v", p, s)
+		}
+	}
+}
+
+func TestSeparationCheck(t *testing.T) {
+	var g Description
+	a := Defect{Kind: Primal, Label: "a"}
+	a.AddSeg(SegOf(Pt(0, 0, 0), Pt(8, 0, 0)))
+	b := Defect{Kind: Primal, Label: "b"}
+	b.AddSeg(SegOf(Pt(0, 2, 0), Pt(8, 2, 0)))
+	g.Add(a)
+	g.Add(b)
+	if err := g.CheckSeparation(); err != nil {
+		t.Fatalf("one-unit spacing must pass: %v", err)
+	}
+	c := Defect{Kind: Primal, Label: "c"}
+	c.AddSeg(SegOf(Pt(0, 1, 0), Pt(8, 1, 0)))
+	g.Add(c)
+	err := g.CheckSeparation()
+	if err == nil {
+		t.Fatal("sub-unit spacing must fail")
+	}
+	var sep *SeparationError
+	if !asSeparation(err, &sep) {
+		t.Fatalf("error type: %T", err)
+	}
+	if sep.Error() == "" {
+		t.Fatal("error text empty")
+	}
+	// Different kinds are exempt (primal/dual interleave by construction).
+	var g2 Description
+	g2.Add(Defect{Kind: Primal, Segs: []Seg{SegOf(Pt(0, 0, 0), Pt(4, 0, 0))}})
+	g2.Add(Defect{Kind: Dual, Segs: []Seg{SegOf(Pt(1, 1, 1), Pt(5, 1, 1))}})
+	if err := g2.CheckSeparation(); err != nil {
+		t.Fatalf("cross-kind proximity must pass: %v", err)
+	}
+}
+
+func asSeparation(err error, out **SeparationError) bool {
+	se, ok := err.(*SeparationError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func TestDefectValidate(t *testing.T) {
+	d := Defect{Kind: Primal}
+	d.AddSeg(SegOf(Pt(0, 0, 0), Pt(4, 0, 0)))
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid defect rejected: %v", err)
+	}
+	bad := Defect{Kind: Primal, Segs: []Seg{SegOf(Pt(1, 1, 1), Pt(5, 1, 1))}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("off-lattice defect accepted")
+	}
+	diag := Defect{Kind: Dual, Segs: []Seg{{Pt(1, 1, 1), Pt(3, 3, 1)}}}
+	if err := diag.Validate(); err == nil {
+		t.Fatal("diagonal defect accepted")
+	}
+}
+
+func TestDefectHelpers(t *testing.T) {
+	d := Defect{Kind: Dual}
+	d.AddPath(Path{Pt(1, 1, 1), Pt(5, 1, 1), Pt(5, 5, 1)})
+	if len(d.Segs) != 2 || d.Length() != 8 {
+		t.Fatalf("AddPath broken: %+v", d)
+	}
+	d.AddSeg(SegOf(Pt(1, 1, 1), Pt(1, 1, 1)))
+	if len(d.Segs) != 2 {
+		t.Fatal("zero-length segment must be dropped")
+	}
+	d.Caps = append(d.Caps, Cap{Kind: CapZ, At: Pt(1, 1, 1)})
+	b := d.Bounds()
+	if b.Min != Pt(1, 1, 1) || b.Max != Pt(5, 5, 1) {
+		t.Fatalf("Bounds broken: %+v", b)
+	}
+	d.Translate(Pt(2, 0, 0))
+	if d.Segs[0].A != Pt(3, 1, 1) || d.Caps[0].At != Pt(3, 1, 1) {
+		t.Fatal("Translate broken")
+	}
+}
+
+func TestDistillBox(t *testing.T) {
+	y := DistillBox{Kind: BoxY, At: Pt(0, 0, 0)}
+	if y.Kind.Volume() != 18 {
+		t.Fatalf("|Y> volume = %d, want 18", y.Kind.Volume())
+	}
+	a := DistillBox{Kind: BoxA, At: Pt(0, 0, 0)}
+	if a.Kind.Volume() != 192 {
+		t.Fatalf("|A> volume = %d, want 192", a.Kind.Volume())
+	}
+	if y.Bounds().Volume() != 18 || a.Bounds().Volume() != 192 {
+		t.Fatal("box bounds volume mismatch")
+	}
+	if y.Attach() != Pt(3*Unit, 3, 2) {
+		t.Fatalf("attach point = %v", y.Attach())
+	}
+	custom := DistillBox{Kind: BoxY, At: Pt(0, 0, 0), Output: Pt(9, 9, 9)}
+	if custom.Attach() != Pt(9, 9, 9) {
+		t.Fatal("explicit output ignored")
+	}
+	if BoxY.String() != "|Y>" || BoxA.String() != "|A>" {
+		t.Fatal("BoxKind.String broken")
+	}
+}
+
+func TestDescriptionSummaryAndString(t *testing.T) {
+	var g Description
+	g.Add(Defect{Kind: Primal, Segs: []Seg{SegOf(Pt(0, 0, 0), Pt(4, 0, 0))}})
+	g.Add(Defect{Kind: Dual, Segs: []Seg{SegOf(Pt(1, 3, 1), Pt(5, 3, 1))}})
+	g.AddBox(DistillBox{Kind: BoxY, At: Pt(10, 0, 0)})
+	st := g.Summary()
+	if st.NumPrimal != 1 || st.NumDual != 1 || st.NumBoxes != 1 {
+		t.Fatalf("summary wrong: %+v", st)
+	}
+	if st.TotalLength != 8 {
+		t.Fatalf("total length = %d", st.TotalLength)
+	}
+	if g.String() == "" {
+		t.Fatal("String empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestDescriptionTranslate(t *testing.T) {
+	var g Description
+	g.Add(Defect{Kind: Primal, Segs: []Seg{SegOf(Pt(0, 0, 0), Pt(4, 0, 0))}})
+	g.AddBox(DistillBox{Kind: BoxY, At: Pt(0, 0, 0), Output: Pt(1, 1, 1)})
+	g.Translate(Pt(2, 4, 6))
+	if g.Defects[0].Segs[0].A != Pt(2, 4, 6) {
+		t.Fatal("defect not translated")
+	}
+	if g.Boxes[0].At != Pt(2, 4, 6) || g.Boxes[0].Output != Pt(3, 5, 7) {
+		t.Fatal("box not translated")
+	}
+}
+
+func TestDumpLayers(t *testing.T) {
+	var g Description
+	if got := g.DumpLayers(); got != "(empty description)\n" {
+		t.Fatalf("empty dump = %q", got)
+	}
+	g.Add(Defect{Kind: Primal, Segs: []Seg{SegOf(Pt(0, 0, 0), Pt(4, 0, 0))}})
+	g.Add(Defect{Kind: Dual, Segs: []Seg{SegOf(Pt(1, 1, 1), Pt(3, 1, 1))}})
+	g.AddBox(DistillBox{Kind: BoxA, At: Pt(6, 0, 0)})
+	out := g.DumpLayers()
+	if out == "" {
+		t.Fatal("dump empty")
+	}
+	for _, want := range []string{"z=0", "#", "o", "A"} {
+		if !contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCapKindString(t *testing.T) {
+	for c, want := range map[CapKind]string{CapNone: "none", CapZ: "Z", CapX: "X", CapInject: "inject"} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if CapKind(99).String() == "" {
+		t.Error("unknown cap kind should render")
+	}
+}
+
+func TestQuickRingPierceTranslationInvariant(t *testing.T) {
+	f := func(at, lo1, hi1, lo2, hi2 int8, sx, sy, sz int8, dx, dy, dz int8) bool {
+		r := RingAround(Primal, X, int(at), int(lo1), int(hi1), int(lo2), int(hi2))
+		s := SegOf(Pt(int(sx), int(sy), int(sz)), Pt(int(sx)+6, int(sy), int(sz)))
+		delta := Pt(int(dx), int(dy), int(dz))
+		before := r.Pierces(s)
+		rT := r.Translate(delta)
+		sT := SegOf(s.A.Add(delta), s.B.Add(delta))
+		return before == rT.Pierces(sT)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package geom
+
+import "fmt"
+
+// Ring is an axis-aligned rectangular defect loop. It lies in the plane
+// normal to Normal at coordinate At, and spans the closed rectangle
+// [Lo1,Hi1]×[Lo2,Hi2] on the two remaining axes (in the canonical order
+// returned by Normal.Others()).
+//
+// Rectangular rings are the building blocks of primal modules after
+// modularization: every primal module is a ring, and the braiding relation
+// "dual net d passes through primal module p" is the statement that a dual
+// strand pierces the spanning rectangle of p's ring.
+type Ring struct {
+	Kind   Kind
+	Normal Axis
+	At     int // plane coordinate along Normal
+	Lo1    int // bounds along the first other axis
+	Hi1    int
+	Lo2    int // bounds along the second other axis
+	Hi2    int
+}
+
+// RingAround constructs a ring of kind k in the plane normal to n at
+// coordinate at, spanning [lo1,hi1]×[lo2,hi2].
+func RingAround(k Kind, n Axis, at, lo1, hi1, lo2, hi2 int) Ring {
+	if lo1 > hi1 {
+		lo1, hi1 = hi1, lo1
+	}
+	if lo2 > hi2 {
+		lo2, hi2 = hi2, lo2
+	}
+	return Ring{Kind: k, Normal: n, At: at, Lo1: lo1, Hi1: hi1, Lo2: lo2, Hi2: hi2}
+}
+
+// String renders the ring compactly.
+func (r Ring) String() string {
+	a1, a2 := r.Normal.Others()
+	return fmt.Sprintf("%s-ring %s=%d %s:[%d,%d] %s:[%d,%d]",
+		r.Kind, r.Normal, r.At, a1, r.Lo1, r.Hi1, a2, r.Lo2, r.Hi2)
+}
+
+// Degenerate reports whether the ring has zero area (it cannot be pierced).
+func (r Ring) Degenerate() bool { return r.Lo1 == r.Hi1 || r.Lo2 == r.Hi2 }
+
+// corner returns the ring corner with the given coordinates on the two
+// in-plane axes.
+func (r Ring) corner(v1, v2 int) Point {
+	a1, a2 := r.Normal.Others()
+	var p Point
+	p = p.With(r.Normal, r.At)
+	p = p.With(a1, v1)
+	return p.With(a2, v2)
+}
+
+// Path returns the closed rectangular polyline of the ring.
+func (r Ring) Path() Path {
+	return Path{
+		r.corner(r.Lo1, r.Lo2),
+		r.corner(r.Hi1, r.Lo2),
+		r.corner(r.Hi1, r.Hi2),
+		r.corner(r.Lo1, r.Hi2),
+		r.corner(r.Lo1, r.Lo2),
+	}
+}
+
+// Segs returns the four edges of the ring (fewer if degenerate).
+func (r Ring) Segs() []Seg { return r.Path().Segs() }
+
+// Bounds returns the bounding box of the ring.
+func (r Ring) Bounds() Box {
+	return Box{Min: r.corner(r.Lo1, r.Lo2), Max: r.corner(r.Hi1, r.Hi2)}
+}
+
+// Translate shifts the ring by delta.
+func (r Ring) Translate(delta Point) Ring {
+	a1, a2 := r.Normal.Others()
+	r.At += delta.Get(r.Normal)
+	r.Lo1 += delta.Get(a1)
+	r.Hi1 += delta.Get(a1)
+	r.Lo2 += delta.Get(a2)
+	r.Hi2 += delta.Get(a2)
+	return r
+}
+
+// Pierces reports whether segment s passes through the open interior of the
+// ring's spanning rectangle: s must run parallel to the ring normal, cross
+// the plane strictly (endpoints on both sides), and its in-plane
+// coordinates must fall strictly inside the rectangle.
+func (r Ring) Pierces(s Seg) bool {
+	if r.Degenerate() || !s.Valid() || s.Len() == 0 {
+		return false
+	}
+	if s.Axis() != r.Normal {
+		return false
+	}
+	lo, hi := interval(s, r.Normal)
+	if !(lo < r.At && r.At < hi) {
+		return false
+	}
+	a1, a2 := r.Normal.Others()
+	v1, v2 := s.A.Get(a1), s.A.Get(a2)
+	return r.Lo1 < v1 && v1 < r.Hi1 && r.Lo2 < v2 && v2 < r.Hi2
+}
+
+// PierceCount counts how many edges of the polyline pierce the ring. For a
+// rectilinear path this equals the unsigned crossing count through the
+// spanning rectangle; a dual net "passes through" the ring when the count
+// is odd (open strands) or non-zero (counted per crossing).
+func (r Ring) PierceCount(p Path) int {
+	n := 0
+	for _, s := range p.Segs() {
+		if r.Pierces(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// Linked reports whether a closed rectilinear loop given by path p is
+// topologically linked with the ring, using the parity of crossings through
+// the ring's spanning rectangle. p must be closed.
+func (r Ring) Linked(p Path) bool {
+	return p.Closed() && r.PierceCount(p)%2 == 1
+}

@@ -1,0 +1,182 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// endpoints returns the unit-resolution lattice points a segment covers,
+// used for connectivity analysis.
+func segmentPoints(s Seg) []Point { return s.Points(1) }
+
+// Connected reports whether the defect's segments form one connected
+// structure (segments touching at any shared lattice point count as
+// connected). The empty defect is trivially connected.
+func (d *Defect) Connected() bool { return d.Components() <= 1 }
+
+// Components counts the connected components of the defect's segments.
+func (d *Defect) Components() int {
+	n := len(d.Segs)
+	if n == 0 {
+		return 0
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// Index segments by covered points.
+	byPoint := map[Point]int{}
+	for i, s := range d.Segs {
+		for _, p := range segmentPoints(s) {
+			if j, ok := byPoint[p]; ok {
+				union(i, j)
+			} else {
+				byPoint[p] = i
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for i := range d.Segs {
+		seen[find(i)] = true
+	}
+	return len(seen)
+}
+
+// EulerLoops returns the independent-cycle count of the defect viewed as a
+// graph on unit lattice points: E − V + C. A single open strand has 0, a
+// plain ring 1, a ring with a handle 2, and so on. The braiding structure
+// of a defect network is reflected in these counts.
+func (d *Defect) EulerLoops() int {
+	if len(d.Segs) == 0 {
+		return 0
+	}
+	verts := map[Point]bool{}
+	edges := 0
+	type edge struct{ a, b Point }
+	seen := map[edge]bool{}
+	for _, s := range d.Segs {
+		pts := segmentPoints(s)
+		for i := range pts {
+			verts[pts[i]] = true
+			if i == 0 {
+				continue
+			}
+			a, b := pts[i-1], pts[i]
+			if b.Less(a) {
+				a, b = b, a
+			}
+			e := edge{a, b}
+			if !seen[e] {
+				seen[e] = true
+				edges++
+			}
+		}
+	}
+	return edges - len(verts) + d.Components()
+}
+
+// ComponentsByKind counts the connected defect structures per kind at the
+// description level: segments of *different* Defect entries that touch are
+// treated as one structure (useful to verify that bridging merged what it
+// claims to have merged).
+func (g *Description) ComponentsByKind(k Kind) int {
+	var idx []int
+	for i := range g.Defects {
+		if g.Defects[i].Kind == k {
+			idx = append(idx, i)
+		}
+	}
+	n := len(idx)
+	if n == 0 {
+		return 0
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byPoint := map[Point]int{}
+	for ii, di := range idx {
+		for _, s := range g.Defects[di].Segs {
+			for _, p := range segmentPoints(s) {
+				if jj, ok := byPoint[p]; ok {
+					ra, rb := find(ii), find(jj)
+					if ra != rb {
+						parent[rb] = ra
+					}
+				} else {
+					byPoint[p] = ii
+				}
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for i := range idx {
+		seen[find(i)] = true
+	}
+	return len(seen)
+}
+
+// TopologyReport summarizes the topological structure of a description.
+type TopologyReport struct {
+	PrimalStructures int
+	DualStructures   int
+	PrimalLoops      int
+	DualLoops        int
+}
+
+// Topology computes the report.
+func (g *Description) Topology() TopologyReport {
+	var r TopologyReport
+	r.PrimalStructures = g.ComponentsByKind(Primal)
+	r.DualStructures = g.ComponentsByKind(Dual)
+	for i := range g.Defects {
+		if g.Defects[i].Kind == Primal {
+			r.PrimalLoops += g.Defects[i].EulerLoops()
+		} else {
+			r.DualLoops += g.Defects[i].EulerLoops()
+		}
+	}
+	return r
+}
+
+// String renders the report.
+func (r TopologyReport) String() string {
+	return fmt.Sprintf("topology{primal: %d structures/%d loops, dual: %d structures/%d loops}",
+		r.PrimalStructures, r.PrimalLoops, r.DualStructures, r.DualLoops)
+}
+
+// SortSegs orders a segment slice canonically (for stable comparisons in
+// tests and serialization).
+func SortSegs(segs []Seg) {
+	for i := range segs {
+		segs[i] = segs[i].Canon()
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].A != segs[j].A {
+			return segs[i].A.Less(segs[j].A)
+		}
+		return segs[i].B.Less(segs[j].B)
+	})
+}

@@ -1,0 +1,112 @@
+package geom
+
+import "testing"
+
+func TestDefectConnectivity(t *testing.T) {
+	var d Defect
+	if d.Components() != 0 || !d.Connected() {
+		t.Fatal("empty defect")
+	}
+	d.AddSeg(SegOf(Pt(0, 0, 0), Pt(4, 0, 0)))
+	d.AddSeg(SegOf(Pt(4, 0, 0), Pt(4, 4, 0)))
+	if d.Components() != 1 || !d.Connected() {
+		t.Fatal("L-shape must be one component")
+	}
+	d.AddSeg(SegOf(Pt(10, 0, 0), Pt(12, 0, 0)))
+	if d.Components() != 2 || d.Connected() {
+		t.Fatal("disjoint strand must split components")
+	}
+	// Crossing segments share an interior point: connected.
+	var x Defect
+	x.AddSeg(SegOf(Pt(0, 2, 0), Pt(4, 2, 0)))
+	x.AddSeg(SegOf(Pt(2, 0, 0), Pt(2, 4, 0)))
+	if x.Components() != 1 {
+		t.Fatal("crossing segments must connect")
+	}
+}
+
+func TestEulerLoops(t *testing.T) {
+	// Open strand: 0 loops.
+	var open Defect
+	open.AddSeg(SegOf(Pt(0, 0, 0), Pt(6, 0, 0)))
+	if got := open.EulerLoops(); got != 0 {
+		t.Fatalf("open strand loops = %d", got)
+	}
+	// A plain ring: 1 loop.
+	var ring Defect
+	ring.AddPath(RingAround(Primal, Z, 0, 0, 4, 0, 4).Path())
+	if got := ring.EulerLoops(); got != 1 {
+		t.Fatalf("ring loops = %d", got)
+	}
+	// Theta shape (ring + chord): 2 loops.
+	theta := ring
+	theta.Segs = append([]Seg(nil), ring.Segs...)
+	theta.AddSeg(SegOf(Pt(2, 0, 0), Pt(2, 4, 0)))
+	if got := theta.EulerLoops(); got != 2 {
+		t.Fatalf("theta loops = %d", got)
+	}
+	// Two disjoint rings: 2 loops, 2 components.
+	two := Defect{}
+	two.AddPath(RingAround(Primal, Z, 0, 0, 4, 0, 4).Path())
+	two.AddPath(RingAround(Primal, Z, 0, 10, 14, 0, 4).Path())
+	if got := two.EulerLoops(); got != 2 {
+		t.Fatalf("two rings loops = %d", got)
+	}
+	if (&Defect{}).EulerLoops() != 0 {
+		t.Fatal("empty loops")
+	}
+}
+
+func TestComponentsByKind(t *testing.T) {
+	var g Description
+	// Two primal defect entries that touch: one structure.
+	a := Defect{Kind: Primal}
+	a.AddSeg(SegOf(Pt(0, 0, 0), Pt(4, 0, 0)))
+	b := Defect{Kind: Primal}
+	b.AddSeg(SegOf(Pt(4, 0, 0), Pt(8, 0, 0)))
+	g.Add(a)
+	g.Add(b)
+	if got := g.ComponentsByKind(Primal); got != 1 {
+		t.Fatalf("touching entries = %d structures", got)
+	}
+	c := Defect{Kind: Primal}
+	c.AddSeg(SegOf(Pt(0, 10, 0), Pt(4, 10, 0)))
+	g.Add(c)
+	if got := g.ComponentsByKind(Primal); got != 2 {
+		t.Fatalf("structures = %d, want 2", got)
+	}
+	if g.ComponentsByKind(Dual) != 0 {
+		t.Fatal("no dual structures expected")
+	}
+}
+
+func TestTopologyReport(t *testing.T) {
+	var g Description
+	ring := Defect{Kind: Primal}
+	ring.AddPath(RingAround(Primal, Z, 0, 0, 4, 0, 4).Path())
+	g.Add(ring)
+	strand := Defect{Kind: Dual}
+	strand.AddSeg(SegOf(Pt(1, 1, 1), Pt(5, 1, 1)))
+	g.Add(strand)
+	r := g.Topology()
+	if r.PrimalStructures != 1 || r.PrimalLoops != 1 || r.DualStructures != 1 || r.DualLoops != 0 {
+		t.Fatalf("report: %+v", r)
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSortSegs(t *testing.T) {
+	segs := []Seg{
+		SegOf(Pt(4, 0, 0), Pt(0, 0, 0)),
+		SegOf(Pt(0, 2, 0), Pt(0, 0, 0)),
+	}
+	SortSegs(segs)
+	if segs[0].A != Pt(0, 0, 0) || segs[0].B != Pt(0, 2, 0) {
+		t.Fatalf("sorted: %v", segs)
+	}
+	if segs[1].A != Pt(0, 0, 0) || segs[1].B != Pt(4, 0, 0) {
+		t.Fatalf("sorted: %v", segs)
+	}
+}

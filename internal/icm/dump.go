@@ -1,0 +1,70 @@
+package icm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the representation as a rail-per-line diagram in the style
+// of the paper's Fig. 3–4: each rail shows its initialization, the CNOTs
+// it participates in (time runs left to right, columns are CNOT indices),
+// and its measurement with the order class.
+//
+//	q0   |0>  ●─ ─ ─  [MZ first g0]
+//	a    |A>  ⊕ ●─ ─  [MZ second g0]
+//
+// Control points render as '*', targets as '+', idle slots as '-'.
+func (r *Rep) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ICM %q: %d rails, %d CNOTs, %d gadgets\n", r.Name, len(r.Rails), len(r.CNOTs), len(r.Gadgets))
+	for _, rail := range r.Rails {
+		label := rail.Label
+		if label == "" {
+			label = fmt.Sprintf("r%d", rail.ID)
+		}
+		fmt.Fprintf(&sb, "%-6s %-4s ", label, rail.Init)
+		for _, c := range r.CNOTs {
+			switch rail.ID {
+			case c.Control:
+				sb.WriteByte('*')
+			case c.Target:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte('-')
+			}
+		}
+		fmt.Fprintf(&sb, " [%s", rail.Meas)
+		if rail.Order != OrderNone {
+			fmt.Fprintf(&sb, " %s", rail.Order)
+		}
+		if rail.Gadget >= 0 {
+			fmt.Fprintf(&sb, " g%d", rail.Gadget)
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// Stats summarizes the representation for reports.
+type Stats struct {
+	Rails       int
+	Qubits      int // non-injection rails
+	CNOTs       int
+	YStates     int
+	AStates     int
+	Gadgets     int
+	Constraints int
+}
+
+// Summarize computes the statistics.
+func (r *Rep) Summarize() Stats {
+	return Stats{
+		Rails:       len(r.Rails),
+		Qubits:      r.NumQubits(),
+		CNOTs:       len(r.CNOTs),
+		YStates:     r.NumY(),
+		AStates:     r.NumA(),
+		Gadgets:     len(r.Gadgets),
+		Constraints: len(r.Constraints),
+	}
+}

@@ -1,0 +1,45 @@
+package icm
+
+import (
+	"strings"
+	"testing"
+
+	"tqec/internal/circuit"
+)
+
+func TestDump(t *testing.T) {
+	c := circuit.New("dump", 2)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.T, 0)
+	rep, err := FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Dump()
+	for _, want := range []string{"ICM \"dump\"", "|A>", "first g0", "second g0", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// One line per rail plus header.
+	if got := strings.Count(out, "\n"); got != len(rep.Rails)+1 {
+		t.Fatalf("lines = %d, want %d", got, len(rep.Rails)+1)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := circuit.New("sum", 2)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.S, 1)
+	rep, err := FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Summarize()
+	if st.Qubits != 3 || st.AStates != 1 || st.YStates != 3 || st.Gadgets != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Rails != len(rep.Rails) || st.Constraints != len(rep.Constraints) {
+		t.Fatalf("stats: %+v", st)
+	}
+}

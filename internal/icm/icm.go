@@ -1,0 +1,438 @@
+// Package icm implements the ICM (Initialization, CNOT, Measurement)
+// representation of fault-tolerant circuits (Paler et al., paper §2.2 and
+// Fig. 3–4), the input form for TQEC geometric synthesis.
+//
+// Every Clifford+T gate is rewritten into qubit rails that are initialized
+// once, coupled by CNOTs, and measured once:
+//
+//	CNOT — a single ICM CNOT between the current rails.
+//	H    — teleportation onto a fresh |+⟩ rail (1 CNOT).
+//	S/S† — one |Y⟩-state coupling CNOT.
+//	T/T† — a gadget with one |A⟩ injection, two |Y⟩ injections and a work
+//	       rail (4 CNOTs). The input rail's Z-basis measurement is
+//	       *first-order* and must precede the gadget's four *second-order*
+//	       selective-teleportation measurements (intra-T constraint);
+//	       second-order groups of successive T gadgets on the same logical
+//	       qubit are themselves ordered (inter-T constraint).
+package icm
+
+import (
+	"fmt"
+
+	"tqec/internal/circuit"
+	"tqec/internal/geom"
+)
+
+// InitKind describes how a rail is initialized.
+type InitKind int
+
+// Rail initializations.
+const (
+	InitZ   InitKind = iota // |0⟩, Z-basis
+	InitX                   // |+⟩, X-basis
+	InjectY                 // |Y⟩ state injection (distilled)
+	InjectA                 // |A⟩ state injection (distilled)
+)
+
+// String names the initialization.
+func (k InitKind) String() string {
+	switch k {
+	case InitZ:
+		return "|0>"
+	case InitX:
+		return "|+>"
+	case InjectY:
+		return "|Y>"
+	case InjectA:
+		return "|A>"
+	}
+	return fmt.Sprintf("init(%d)", int(k))
+}
+
+// Cap returns the geometric cap kind realizing this initialization on a
+// primal defect pair (paper Fig. 2).
+func (k InitKind) Cap() geom.CapKind {
+	switch k {
+	case InitZ:
+		return geom.CapZ
+	case InitX:
+		return geom.CapX
+	default:
+		return geom.CapInject
+	}
+}
+
+// MeasKind describes how a rail is measured.
+type MeasKind int
+
+// Rail measurements.
+const (
+	MeasZ MeasKind = iota // Z basis
+	MeasX                 // X basis
+)
+
+// String names the measurement basis.
+func (k MeasKind) String() string {
+	if k == MeasZ {
+		return "MZ"
+	}
+	return "MX"
+}
+
+// Cap returns the geometric cap kind realizing this measurement.
+func (k MeasKind) Cap() geom.CapKind {
+	if k == MeasZ {
+		return geom.CapZ
+	}
+	return geom.CapX
+}
+
+// OrderClass classifies a rail's measurement for the time-ordering
+// constraints of T gadgets.
+type OrderClass int
+
+// Measurement order classes.
+const (
+	OrderNone   OrderClass = iota // unconstrained
+	OrderFirst                    // green Z-basis measurement of a T gadget
+	OrderSecond                   // blue selective-teleportation measurement
+)
+
+// String names the order class.
+func (c OrderClass) String() string {
+	switch c {
+	case OrderFirst:
+		return "first"
+	case OrderSecond:
+		return "second"
+	default:
+		return "none"
+	}
+}
+
+// Rail is one ICM qubit line: initialized once, coupled by CNOTs, measured
+// once at its end.
+type Rail struct {
+	ID      int
+	Init    InitKind
+	Meas    MeasKind
+	Order   OrderClass
+	Gadget  int // owning T gadget, −1 if none
+	Logical int // logical circuit qubit carried at creation, −1 for ancillas
+	Label   string
+}
+
+// IsInjection reports whether the rail starts from a distilled state.
+func (r Rail) IsInjection() bool { return r.Init == InjectY || r.Init == InjectA }
+
+// CNOT is one ICM CNOT operation between two rails; list order is program
+// order.
+type CNOT struct {
+	ID      int
+	Control int // rail ID
+	Target  int // rail ID
+	Gadget  int // owning T gadget, −1 if none
+}
+
+// Gadget records the measurement-order structure of one T/T† gate.
+type Gadget struct {
+	ID      int
+	Logical int   // logical qubit the gate acted on
+	First   int   // rail with the first-order measurement
+	Second  []int // rails with second-order measurements
+}
+
+// Constraint is a happens-before edge between two rail measurements.
+type Constraint struct {
+	Before, After int // rail IDs
+	// Kind is "intra" or "inter" for diagnostics.
+	Kind string
+}
+
+// Rep is a complete ICM representation.
+type Rep struct {
+	Name        string
+	Rails       []Rail
+	CNOTs       []CNOT
+	Gadgets     []Gadget
+	Constraints []Constraint
+	// Logical maps each input-circuit qubit to its final rail.
+	Logical []int
+}
+
+// NumY and NumA count the distilled ancilla states consumed.
+func (r *Rep) NumY() int { return r.countInit(InjectY) }
+
+// NumA counts the |A⟩ injections.
+func (r *Rep) NumA() int { return r.countInit(InjectA) }
+
+func (r *Rep) countInit(k InitKind) int {
+	n := 0
+	for _, rl := range r.Rails {
+		if rl.Init == k {
+			n++
+		}
+	}
+	return n
+}
+
+// NumQubits counts the non-injection rails, matching the paper's Table-1
+// "#Qubits after gate decomposition" convention.
+func (r *Rep) NumQubits() int {
+	n := 0
+	for _, rl := range r.Rails {
+		if !rl.IsInjection() {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a one-line summary.
+func (r *Rep) String() string {
+	return fmt.Sprintf("icm %q: %d rails (%d qubits), %d CNOTs, %d |Y>, %d |A>, %d gadgets",
+		r.Name, len(r.Rails), r.NumQubits(), len(r.CNOTs), r.NumY(), r.NumA(), len(r.Gadgets))
+}
+
+// builder accumulates the representation.
+type builder struct {
+	rep *Rep
+	cur []int // logical qubit -> current rail
+	// lastGadget maps a logical qubit to its most recent T gadget for the
+	// inter-T constraint chain.
+	lastGadget []int
+}
+
+func (b *builder) newRail(init InitKind, logical, gadget int, order OrderClass, label string) int {
+	id := len(b.rep.Rails)
+	b.rep.Rails = append(b.rep.Rails, Rail{
+		ID: id, Init: init, Meas: MeasZ, Order: order,
+		Gadget: gadget, Logical: logical, Label: label,
+	})
+	return id
+}
+
+func (b *builder) cnot(control, target, gadget int) {
+	id := len(b.rep.CNOTs)
+	b.rep.CNOTs = append(b.rep.CNOTs, CNOT{ID: id, Control: control, Target: target, Gadget: gadget})
+}
+
+// FromCliffordT builds the ICM representation of a Clifford+T circuit.
+// Gates outside {CNOT, H, S, S†, T, T†} are rejected; lower them first with
+// the decompose package.
+func FromCliffordT(c *circuit.Circuit) (*Rep, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{
+		rep:        &Rep{Name: c.Name, Logical: make([]int, c.Width)},
+		cur:        make([]int, c.Width),
+		lastGadget: make([]int, c.Width),
+	}
+	for q := 0; q < c.Width; q++ {
+		label := fmt.Sprintf("q%d", q)
+		if len(c.Labels) > 0 {
+			label = c.Labels[q]
+		}
+		b.cur[q] = b.newRail(InitZ, q, -1, OrderNone, label)
+		b.lastGadget[q] = -1
+	}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.CNOT:
+			b.cnot(b.cur[g.Controls[0]], b.cur[g.Target], -1)
+		case circuit.H:
+			b.hadamard(g.Target)
+		case circuit.S, circuit.Sdg:
+			b.phase(g.Target)
+		case circuit.T, circuit.Tdg:
+			b.tGadget(g.Target)
+		default:
+			return nil, fmt.Errorf("icm: gate %v is not Clifford+T; decompose first", g)
+		}
+	}
+	// Final rails carry the logical outputs.
+	copy(b.rep.Logical, b.cur)
+	return b.rep, nil
+}
+
+// hadamard teleports the qubit onto a fresh |+⟩ rail; the old rail is
+// measured in the X basis, effecting the basis change.
+func (b *builder) hadamard(q int) {
+	old := b.cur[q]
+	fresh := b.newRail(InitX, q, -1, OrderNone, fmt.Sprintf("h%d", old))
+	b.cnot(old, fresh, -1)
+	b.rep.Rails[old].Meas = MeasX
+	b.cur[q] = fresh
+}
+
+// phase couples a distilled |Y⟩ state onto the qubit.
+func (b *builder) phase(q int) {
+	y := b.newRail(InjectY, -1, -1, OrderNone, "y")
+	b.cnot(y, b.cur[q], -1)
+}
+
+// tGadget emits the T-gate teleportation network: |A⟩ injection, two |Y⟩
+// states for the corrective branches, and a work rail that carries the
+// logical qubit onward. The input rail's Z measurement is first-order; the
+// four gadget measurements are second-order (paper Fig. 3).
+func (b *builder) tGadget(q int) {
+	gid := len(b.rep.Gadgets)
+	in := b.cur[q]
+	a := b.newRail(InjectA, -1, gid, OrderSecond, "a")
+	y1 := b.newRail(InjectY, -1, gid, OrderSecond, "y1")
+	y2 := b.newRail(InjectY, -1, gid, OrderSecond, "y2")
+	w := b.newRail(InitZ, q, gid, OrderSecond, "w")
+	b.cnot(in, a, gid)
+	b.cnot(y1, a, gid)
+	b.cnot(a, w, gid)
+	b.cnot(y2, w, gid)
+	b.rep.Rails[in].Meas = MeasZ
+	b.rep.Rails[in].Order = OrderFirst
+	b.rep.Rails[in].Gadget = gid
+	gadget := Gadget{ID: gid, Logical: q, First: in, Second: []int{a, y1, y2, w}}
+	b.rep.Gadgets = append(b.rep.Gadgets, gadget)
+
+	// Intra-T: first-order before every second-order measurement.
+	for _, s := range gadget.Second {
+		b.rep.Constraints = append(b.rep.Constraints, Constraint{Before: in, After: s, Kind: "intra"})
+	}
+	// Inter-T: second-order groups on the same logical qubit are ordered.
+	if prev := b.lastGadget[q]; prev >= 0 {
+		for _, s1 := range b.rep.Gadgets[prev].Second {
+			for _, s2 := range gadget.Second {
+				b.rep.Constraints = append(b.rep.Constraints, Constraint{Before: s1, After: s2, Kind: "inter"})
+			}
+		}
+	}
+	b.lastGadget[q] = gid
+	b.cur[q] = w
+}
+
+// CheckOrder verifies a proposed measurement schedule (rail → time) against
+// all ordering constraints, returning the first violated constraint.
+func (r *Rep) CheckOrder(timeOf func(rail int) int) error {
+	for _, c := range r.Constraints {
+		if timeOf(c.Before) >= timeOf(c.After) {
+			return fmt.Errorf("icm: %s-T constraint violated: rail %d (t=%d) must measure before rail %d (t=%d)",
+				c.Kind, c.Before, timeOf(c.Before), c.After, timeOf(c.After))
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns rail IDs in a measurement order satisfying every
+// constraint, or an error if the constraint graph has a cycle (which the
+// builder never produces).
+func (r *Rep) TopoOrder() ([]int, error) {
+	n := len(r.Rails)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, c := range r.Constraints {
+		adj[c.Before] = append(adj[c.Before], c.After)
+		indeg[c.After]++
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("icm: constraint graph has a cycle")
+	}
+	return order, nil
+}
+
+// Validate checks internal consistency: rail references in range, gadget
+// structure sane, and the constraint graph acyclic.
+func (r *Rep) Validate() error {
+	n := len(r.Rails)
+	check := func(id int, what string) error {
+		if id < 0 || id >= n {
+			return fmt.Errorf("icm: %s rail %d out of range", what, id)
+		}
+		return nil
+	}
+	for _, c := range r.CNOTs {
+		if err := check(c.Control, "cnot control"); err != nil {
+			return err
+		}
+		if err := check(c.Target, "cnot target"); err != nil {
+			return err
+		}
+		if c.Control == c.Target {
+			return fmt.Errorf("icm: cnot %d is a self-loop", c.ID)
+		}
+	}
+	for _, g := range r.Gadgets {
+		if err := check(g.First, "gadget first"); err != nil {
+			return err
+		}
+		if len(g.Second) != 4 {
+			return fmt.Errorf("icm: gadget %d has %d second-order measurements, want 4", g.ID, len(g.Second))
+		}
+		for _, s := range g.Second {
+			if err := check(s, "gadget second"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range r.Constraints {
+		if err := check(c.Before, "constraint"); err != nil {
+			return err
+		}
+		if err := check(c.After, "constraint"); err != nil {
+			return err
+		}
+	}
+	_, err := r.TopoOrder()
+	return err
+}
+
+// ASAPSchedule assigns every CNOT the earliest time step after all
+// earlier CNOTs it shares a rail with (the as-soon-as-possible schedule),
+// returning the per-gate steps and the makespan (critical path length).
+// This is the dependency structure the layout baselines schedule against.
+func (r *Rep) ASAPSchedule() (steps []int, makespan int) {
+	steps = make([]int, len(r.CNOTs))
+	ready := make([]int, len(r.Rails))
+	for i, c := range r.CNOTs {
+		s := ready[c.Control]
+		if ready[c.Target] > s {
+			s = ready[c.Target]
+		}
+		steps[i] = s
+		ready[c.Control] = s + 1
+		ready[c.Target] = s + 1
+		if s+1 > makespan {
+			makespan = s + 1
+		}
+	}
+	return steps, makespan
+}
+
+// Parallelism returns the average number of CNOTs per ASAP step, a
+// workload-shape statistic (decomposed reversible netlists sit near 2).
+func (r *Rep) Parallelism() float64 {
+	if len(r.CNOTs) == 0 {
+		return 0
+	}
+	_, makespan := r.ASAPSchedule()
+	if makespan == 0 {
+		return 0
+	}
+	return float64(len(r.CNOTs)) / float64(makespan)
+}

@@ -1,0 +1,330 @@
+package icm
+
+import (
+	"math/rand"
+	"testing"
+
+	"tqec/internal/circuit"
+	"tqec/internal/decompose"
+	"tqec/internal/geom"
+)
+
+func mustBuild(t *testing.T, c *circuit.Circuit) *Rep {
+	t.Helper()
+	rep, err := FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestKindStrings(t *testing.T) {
+	if InitZ.String() != "|0>" || InitX.String() != "|+>" || InjectY.String() != "|Y>" || InjectA.String() != "|A>" {
+		t.Fatal("InitKind names")
+	}
+	if InitKind(9).String() == "" {
+		t.Fatal("unknown init must render")
+	}
+	if MeasZ.String() != "MZ" || MeasX.String() != "MX" {
+		t.Fatal("MeasKind names")
+	}
+	if OrderNone.String() != "none" || OrderFirst.String() != "first" || OrderSecond.String() != "second" {
+		t.Fatal("OrderClass names")
+	}
+}
+
+func TestCaps(t *testing.T) {
+	if InitZ.Cap() != geom.CapZ || InitX.Cap() != geom.CapX {
+		t.Fatal("basis caps")
+	}
+	if InjectY.Cap() != geom.CapInject || InjectA.Cap() != geom.CapInject {
+		t.Fatal("injection caps")
+	}
+	if MeasZ.Cap() != geom.CapZ || MeasX.Cap() != geom.CapX {
+		t.Fatal("measurement caps")
+	}
+}
+
+func TestCNOTOnly(t *testing.T) {
+	c := circuit.New("cnots", 3)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	c.AppendNew(circuit.CNOT, 1, 2)
+	c.AppendNew(circuit.CNOT, 0, 1)
+	rep := mustBuild(t, c)
+	if len(rep.Rails) != 3 || len(rep.CNOTs) != 3 {
+		t.Fatalf("shape: %v", rep)
+	}
+	if rep.NumY() != 0 || rep.NumA() != 0 || len(rep.Gadgets) != 0 {
+		t.Fatalf("pure CNOT circuit grew ancillas: %v", rep)
+	}
+	// CNOT rails are identity-mapped.
+	if rep.CNOTs[0].Control != 0 || rep.CNOTs[0].Target != 1 {
+		t.Fatalf("cnot 0 wiring: %+v", rep.CNOTs[0])
+	}
+	for q, rail := range rep.Logical {
+		if rail != q {
+			t.Fatalf("logical %d on rail %d", q, rail)
+		}
+	}
+}
+
+func TestTGadgetStructure(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.AppendNew(circuit.T, 0)
+	rep := mustBuild(t, c)
+	// 1 input rail + A + 2×Y + work.
+	if len(rep.Rails) != 5 {
+		t.Fatalf("rails = %d, want 5", len(rep.Rails))
+	}
+	if rep.NumA() != 1 || rep.NumY() != 2 {
+		t.Fatalf("A=%d Y=%d, want 1/2", rep.NumA(), rep.NumY())
+	}
+	if len(rep.CNOTs) != 4 {
+		t.Fatalf("CNOTs = %d, want 4", len(rep.CNOTs))
+	}
+	g := rep.Gadgets[0]
+	if g.First != 0 {
+		t.Fatalf("first-order rail = %d", g.First)
+	}
+	if len(g.Second) != 4 {
+		t.Fatalf("second-order count = %d, want 4 (paper Fig 3)", len(g.Second))
+	}
+	if rep.Rails[g.First].Order != OrderFirst || rep.Rails[g.First].Meas != MeasZ {
+		t.Fatal("first-order measurement must be green Z-basis")
+	}
+	for _, s := range g.Second {
+		if rep.Rails[s].Order != OrderSecond {
+			t.Fatalf("rail %d not second-order", s)
+		}
+	}
+	// Intra-T constraints: first before each of the four.
+	intra := 0
+	for _, cst := range rep.Constraints {
+		if cst.Kind == "intra" {
+			intra++
+			if cst.Before != g.First {
+				t.Fatal("intra constraint not from first-order rail")
+			}
+		}
+	}
+	if intra != 4 {
+		t.Fatalf("intra constraints = %d, want 4", intra)
+	}
+	// Logical qubit continues on the work rail.
+	if rep.Logical[0] != g.Second[3] {
+		t.Fatalf("logical continuation rail = %d, want %d", rep.Logical[0], g.Second[3])
+	}
+}
+
+func TestInterTConstraint(t *testing.T) {
+	// Two T gates on the same qubit (paper Fig 4).
+	c := circuit.New("tt", 1)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.T, 0)
+	rep := mustBuild(t, c)
+	if len(rep.Gadgets) != 2 {
+		t.Fatalf("gadgets = %d", len(rep.Gadgets))
+	}
+	inter := 0
+	for _, cst := range rep.Constraints {
+		if cst.Kind == "inter" {
+			inter++
+		}
+	}
+	if inter != 16 { // 4×4 cross product
+		t.Fatalf("inter constraints = %d, want 16", inter)
+	}
+	// The second gadget's first-order rail is the first gadget's work rail.
+	g0, g1 := rep.Gadgets[0], rep.Gadgets[1]
+	if g1.First != g0.Second[3] {
+		t.Fatalf("gadget chaining broken: %d vs %d", g1.First, g0.Second[3])
+	}
+}
+
+func TestNoInterTAcrossDifferentQubits(t *testing.T) {
+	c := circuit.New("t2q", 2)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.T, 1)
+	rep := mustBuild(t, c)
+	for _, cst := range rep.Constraints {
+		if cst.Kind == "inter" {
+			t.Fatal("inter-T constraint between unrelated qubits")
+		}
+	}
+}
+
+func TestHadamardTeleport(t *testing.T) {
+	c := circuit.New("h", 1)
+	c.AppendNew(circuit.H, 0)
+	rep := mustBuild(t, c)
+	if len(rep.Rails) != 2 || len(rep.CNOTs) != 1 {
+		t.Fatalf("shape: %v", rep)
+	}
+	if rep.Rails[1].Init != InitX {
+		t.Fatal("fresh rail must be |+>")
+	}
+	if rep.Rails[0].Meas != MeasX {
+		t.Fatal("old rail must be X-measured")
+	}
+	if rep.Logical[0] != 1 {
+		t.Fatal("logical must move to fresh rail")
+	}
+}
+
+func TestPhaseGate(t *testing.T) {
+	c := circuit.New("s", 1)
+	c.AppendNew(circuit.S, 0)
+	rep := mustBuild(t, c)
+	if rep.NumY() != 1 || len(rep.CNOTs) != 1 {
+		t.Fatalf("shape: %v", rep)
+	}
+	if rep.Logical[0] != 0 {
+		t.Fatal("S must not move the logical qubit")
+	}
+}
+
+func TestRejectsNonCliffordT(t *testing.T) {
+	c := circuit.New("tof", 3)
+	c.AppendNew(circuit.Toffoli, 2, 0, 1)
+	if _, err := FromCliffordT(c); err == nil {
+		t.Fatal("Toffoli accepted without decomposition")
+	}
+	bad := circuit.New("bad", 0)
+	if _, err := FromCliffordT(bad); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+}
+
+func TestStatsMatchDecomposeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		c := circuit.Random(rng, 4, 30)
+		res, err := decompose.ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decompose.Count(res.Circuit)
+		rep := mustBuild(t, res.Circuit)
+		if rep.NumQubits() != st.Qubits {
+			t.Fatalf("trial %d: qubits %d vs predicted %d", trial, rep.NumQubits(), st.Qubits)
+		}
+		if len(rep.CNOTs) != st.CNOTs {
+			t.Fatalf("trial %d: cnots %d vs predicted %d", trial, len(rep.CNOTs), st.CNOTs)
+		}
+		if rep.NumY() != st.YStates || rep.NumA() != st.AStates {
+			t.Fatalf("trial %d: Y/A %d/%d vs predicted %d/%d",
+				trial, rep.NumY(), rep.NumA(), st.YStates, st.AStates)
+		}
+	}
+}
+
+func TestTopoOrderSatisfiesConstraints(t *testing.T) {
+	c := circuit.New("deep", 2)
+	for i := 0; i < 5; i++ {
+		c.AppendNew(circuit.T, i%2)
+		c.AppendNew(circuit.CNOT, 1, 0)
+	}
+	rep := mustBuild(t, c)
+	order, err := rep.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int, len(order))
+	for i, r := range order {
+		pos[r] = i
+	}
+	if err := rep.CheckOrder(func(r int) int { return pos[r] }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckOrderDetectsViolation(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.AppendNew(circuit.T, 0)
+	rep := mustBuild(t, c)
+	// Everything at time 0 violates intra-T strict ordering.
+	if err := rep.CheckOrder(func(int) int { return 0 }); err == nil {
+		t.Fatal("flat schedule accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.AppendNew(circuit.T, 0)
+	rep := mustBuild(t, c)
+
+	broken := *rep
+	broken.CNOTs = append([]CNOT(nil), rep.CNOTs...)
+	broken.CNOTs[0].Control = 99
+	if err := broken.Validate(); err == nil {
+		t.Fatal("out-of-range control accepted")
+	}
+
+	broken = *rep
+	broken.CNOTs = append([]CNOT(nil), rep.CNOTs...)
+	broken.CNOTs[0].Control = broken.CNOTs[0].Target
+	if err := broken.Validate(); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+
+	broken = *rep
+	broken.Constraints = append([]Constraint(nil), rep.Constraints...)
+	broken.Constraints = append(broken.Constraints,
+		Constraint{Before: rep.Gadgets[0].Second[0], After: rep.Gadgets[0].First, Kind: "test"})
+	if err := broken.Validate(); err == nil {
+		t.Fatal("constraint cycle accepted")
+	}
+
+	broken = *rep
+	broken.Gadgets = append([]Gadget(nil), rep.Gadgets...)
+	broken.Gadgets[0].Second = broken.Gadgets[0].Second[:2]
+	if err := broken.Validate(); err == nil {
+		t.Fatal("truncated gadget accepted")
+	}
+}
+
+func TestRailIsInjection(t *testing.T) {
+	if (Rail{Init: InitZ}).IsInjection() || (Rail{Init: InitX}).IsInjection() {
+		t.Fatal("basis rails are not injections")
+	}
+	if !(Rail{Init: InjectY}).IsInjection() || !(Rail{Init: InjectA}).IsInjection() {
+		t.Fatal("Y/A rails are injections")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	c := circuit.New("sum", 1)
+	c.AppendNew(circuit.T, 0)
+	rep := mustBuild(t, c)
+	if rep.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestASAPSchedule(t *testing.T) {
+	c := circuit.New("asap", 4)
+	c.AppendNew(circuit.CNOT, 1, 0) // step 0
+	c.AppendNew(circuit.CNOT, 3, 2) // step 0 (independent)
+	c.AppendNew(circuit.CNOT, 2, 1) // step 1 (rails 1 and 2 busy at 0)
+	rep := mustBuild(t, c)
+	steps, makespan := rep.ASAPSchedule()
+	if makespan != 2 {
+		t.Fatalf("makespan = %d, want 2", makespan)
+	}
+	want := []int{0, 0, 1}
+	for i, w := range want {
+		if steps[i] != w {
+			t.Fatalf("gate %d step = %d, want %d", i, steps[i], w)
+		}
+	}
+	if p := rep.Parallelism(); p != 1.5 {
+		t.Fatalf("parallelism = %f, want 1.5", p)
+	}
+	empty := mustBuild(t, circuit.New("empty", 1))
+	if empty.Parallelism() != 0 {
+		t.Fatal("empty parallelism")
+	}
+}

@@ -1,0 +1,38 @@
+package pdgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"tqec/internal/circuit"
+	"tqec/internal/icm"
+)
+
+// BenchmarkBuildPDGraph measures modularization of a 4gt10-sized workload
+// (hundreds of modules).
+func BenchmarkBuildPDGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.New("wl", 110)
+	for i := 0; i < 84; i++ {
+		t := rng.Intn(110)
+		c.AppendNew(circuit.CNOT, t, (t+1+rng.Intn(108))%110)
+		if i%4 == 0 {
+			c.AppendNew(circuit.T, t)
+		}
+	}
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := len(rep.Rails) + len(rep.CNOTs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := New(rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumModules() != want {
+			b.Fatal("module identity broken")
+		}
+	}
+}

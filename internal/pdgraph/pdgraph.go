@@ -1,0 +1,229 @@
+// Package pdgraph implements the 2-D primal–dual graph (paper §2.3 and
+// §3.1): the modularized form of a TQEC circuit that records the braiding
+// relation between primal modules and dual nets, abstracting away the 3-D
+// geometry.
+//
+// Rows correspond to ICM rails. Every rail starts with one module carrying
+// its initialization I/M, and every ICM CNOT appends one *innovative*
+// module to its control row (paper Fig. 6(d) construction rules):
+//
+//	control side: record the net in the row's current module, then append a
+//	              new innovative module also recording the net;
+//	target side:  record the net in the row's current module.
+//
+// This yields the paper's Table-1 identity
+// #Modules = #Rails + #CNOTs = #Qubits + #CNOTs + #|Y⟩ + #|A⟩.
+package pdgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"tqec/internal/geom"
+	"tqec/internal/icm"
+)
+
+// Module is one primal module: a primal ring through which dual nets pass.
+type Module struct {
+	ID  int
+	Row int // rail ID
+	Col int // position within the row, 0-based
+	// Nets lists the dual nets passing through the module, in program
+	// order. A net passes a given module at most once.
+	Nets []int
+	// InitCap is the I/M realized on the module's −x face (only on col 0).
+	InitCap geom.CapKind
+	// MeasCap is the I/M realized on the module's +x face (only on the
+	// last module of a row).
+	MeasCap geom.CapKind
+	// Inject is the distillation-box kind feeding this module, valid when
+	// InitCap is CapInject. BoxY for |Y⟩, BoxA for |A⟩.
+	Inject geom.BoxKind
+}
+
+// HasIM reports whether the module carries an initialization or
+// measurement (the I-shaped simplification precondition).
+func (m *Module) HasIM() bool {
+	return m.InitCap != geom.CapNone || m.MeasCap != geom.CapNone
+}
+
+// PassesNet reports whether net id passes through the module.
+func (m *Module) PassesNet(id int) bool {
+	for _, n := range m.Nets {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Net is one dual net, derived from one ICM CNOT. In the canonical form it
+// passes through exactly three modules: two consecutive modules on the
+// control row and one on the target row.
+type Net struct {
+	ID            int
+	CNOT          int // originating ICM CNOT ID
+	ControlFirst  int // module ID (the row's current module)
+	ControlSecond int // module ID (the innovative module)
+	Target        int // module ID on the target row
+	Gadget        int // owning T gadget, −1 if none
+}
+
+// Modules returns the three modules the net passes, control side first.
+func (n *Net) Modules() [3]int { return [3]int{n.ControlFirst, n.ControlSecond, n.Target} }
+
+// Graph is the primal–dual graph of an ICM representation.
+type Graph struct {
+	Source  *icm.Rep
+	Modules []*Module
+	Nets    []*Net
+	// Rows maps each rail ID to its module IDs in column order.
+	Rows [][]int
+}
+
+// New builds the PD graph from an ICM representation using the paper's
+// construction rules.
+func New(rep *icm.Rep) (*Graph, error) {
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("pdgraph: %w", err)
+	}
+	g := &Graph{
+		Source: rep,
+		Rows:   make([][]int, len(rep.Rails)),
+	}
+	// Every rail opens with a module carrying its initialization.
+	for _, rail := range rep.Rails {
+		m := &Module{ID: len(g.Modules), Row: rail.ID, Col: 0, InitCap: rail.Init.Cap()}
+		if rail.Init == icm.InjectY {
+			m.Inject = geom.BoxY
+		} else if rail.Init == icm.InjectA {
+			m.Inject = geom.BoxA
+		}
+		g.Modules = append(g.Modules, m)
+		g.Rows[rail.ID] = []int{m.ID}
+	}
+	for _, c := range rep.CNOTs {
+		net := &Net{ID: len(g.Nets), CNOT: c.ID, Gadget: c.Gadget}
+		// Control side: current module plus a fresh innovative module.
+		ctlRow := g.Rows[c.Control]
+		cur := g.Modules[ctlRow[len(ctlRow)-1]]
+		cur.Nets = append(cur.Nets, net.ID)
+		net.ControlFirst = cur.ID
+		innovative := &Module{ID: len(g.Modules), Row: c.Control, Col: len(ctlRow)}
+		innovative.Nets = append(innovative.Nets, net.ID)
+		g.Modules = append(g.Modules, innovative)
+		g.Rows[c.Control] = append(g.Rows[c.Control], innovative.ID)
+		net.ControlSecond = innovative.ID
+		// Target side: record in the row's current module.
+		tgtRow := g.Rows[c.Target]
+		tgt := g.Modules[tgtRow[len(tgtRow)-1]]
+		tgt.Nets = append(tgt.Nets, net.ID)
+		net.Target = tgt.ID
+		g.Nets = append(g.Nets, net)
+	}
+	// The last module of every row carries the rail's measurement.
+	for _, rail := range rep.Rails {
+		row := g.Rows[rail.ID]
+		g.Modules[row[len(row)-1]].MeasCap = rail.Meas.Cap()
+	}
+	return g, nil
+}
+
+// NumModules returns the module count (Table 1 "#Modules").
+func (g *Graph) NumModules() int { return len(g.Modules) }
+
+// Validate checks the structural invariants of the construction.
+func (g *Graph) Validate() error {
+	if want := len(g.Source.Rails) + len(g.Source.CNOTs); len(g.Modules) != want {
+		return fmt.Errorf("pdgraph: %d modules, want #rails+#CNOTs = %d", len(g.Modules), want)
+	}
+	for row, ids := range g.Rows {
+		for col, id := range ids {
+			m := g.Modules[id]
+			if m.Row != row || m.Col != col {
+				return fmt.Errorf("pdgraph: module %d indexed at row %d col %d but records (%d,%d)",
+					id, row, col, m.Row, m.Col)
+			}
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("pdgraph: row %d has no modules", row)
+		}
+		first, last := g.Modules[ids[0]], g.Modules[ids[len(ids)-1]]
+		if first.InitCap == geom.CapNone {
+			return fmt.Errorf("pdgraph: row %d first module lacks initialization", row)
+		}
+		if last.MeasCap == geom.CapNone {
+			return fmt.Errorf("pdgraph: row %d last module lacks measurement", row)
+		}
+	}
+	for _, n := range g.Nets {
+		c1, c2 := g.Modules[n.ControlFirst], g.Modules[n.ControlSecond]
+		if c1.Row != c2.Row || c2.Col != c1.Col+1 {
+			return fmt.Errorf("pdgraph: net %d control modules %d,%d not consecutive in a row", n.ID, c1.ID, c2.ID)
+		}
+		t := g.Modules[n.Target]
+		if t.Row == c1.Row {
+			return fmt.Errorf("pdgraph: net %d target shares the control row", n.ID)
+		}
+		for _, id := range n.Modules() {
+			if !g.Modules[id].PassesNet(n.ID) {
+				return fmt.Errorf("pdgraph: net %d not recorded in module %d", n.ID, id)
+			}
+		}
+	}
+	// Module pass lists must reference only nets that list them back.
+	for _, m := range g.Modules {
+		seen := map[int]bool{}
+		for _, nid := range m.Nets {
+			if nid < 0 || nid >= len(g.Nets) {
+				return fmt.Errorf("pdgraph: module %d references net %d out of range", m.ID, nid)
+			}
+			if seen[nid] {
+				return fmt.Errorf("pdgraph: module %d lists net %d twice", m.ID, nid)
+			}
+			seen[nid] = true
+			n := g.Nets[nid]
+			if n.ControlFirst != m.ID && n.ControlSecond != m.ID && n.Target != m.ID {
+				return fmt.Errorf("pdgraph: module %d lists net %d which does not pass it", m.ID, nid)
+			}
+		}
+	}
+	return nil
+}
+
+// NetsThrough returns the nets passing through module id.
+func (g *Graph) NetsThrough(id int) []int {
+	return append([]int(nil), g.Modules[id].Nets...)
+}
+
+// GadgetOrderedBefore reports whether every second-order measurement of
+// net a's gadget must precede those of net b's gadget (the inter-T
+// constraint lifted to nets). Gadgets on the same logical qubit are
+// linearly ordered by creation.
+func (g *Graph) GadgetOrderedBefore(a, b *Net) bool {
+	if a.Gadget < 0 || b.Gadget < 0 || a.Gadget == b.Gadget {
+		return false
+	}
+	ga := g.Source.Gadgets[a.Gadget]
+	gb := g.Source.Gadgets[b.Gadget]
+	return ga.Logical == gb.Logical && ga.ID < gb.ID
+}
+
+// Dump renders the data structure in the style of paper Fig. 6(d): one
+// line per row, each module as pN{dI,dJ,...}.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for row, ids := range g.Rows {
+		fmt.Fprintf(&sb, "row %d:", row)
+		for _, id := range ids {
+			m := g.Modules[id]
+			nets := make([]string, len(m.Nets))
+			for i, n := range m.Nets {
+				nets[i] = fmt.Sprintf("d%d", n)
+			}
+			fmt.Fprintf(&sb, " p%d{%s}", id, strings.Join(nets, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

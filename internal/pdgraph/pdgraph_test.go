@@ -1,0 +1,265 @@
+package pdgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tqec/internal/circuit"
+	"tqec/internal/decompose"
+	"tqec/internal/geom"
+	"tqec/internal/icm"
+	"tqec/internal/revlib"
+)
+
+// threeCNOT builds the paper's running example (§3.1, Fig 6): three CNOTs
+// with control/target rails (0→1), (2→1), (1→0).
+func threeCNOT(t *testing.T) *Graph {
+	t.Helper()
+	c, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFig6DataStructure(t *testing.T) {
+	g := threeCNOT(t)
+	// With eager row-initial modules the paper's p0..p5 map to module IDs:
+	// p0=m0 (row0 col0), p1=m3 (row0 col1), p2=m1 (row1 col0),
+	// p3=m2 (row2 col0), p4=m4 (row2 col1), p5=m5 (row1 col1).
+	if g.NumModules() != 6 || len(g.Nets) != 3 {
+		t.Fatalf("shape: %d modules, %d nets", g.NumModules(), len(g.Nets))
+	}
+	wantNets := map[int][]int{
+		0: {0},       // p0{d0}
+		3: {0, 2},    // p1{d0,d2}
+		1: {0, 1, 2}, // p2{d0,d1,d2}
+		2: {1},       // p3{d1}
+		4: {1},       // p4{d1}
+		5: {2},       // p5{d2}
+	}
+	for id, want := range wantNets {
+		if got := g.Modules[id].Nets; !reflect.DeepEqual(got, want) {
+			t.Errorf("module %d nets = %v, want %v", id, got, want)
+		}
+	}
+	// Net wiring: d0 = (p0, p1, p2) = (m0, m3, m1).
+	if n := g.Nets[0]; n.ControlFirst != 0 || n.ControlSecond != 3 || n.Target != 1 {
+		t.Errorf("d0 wiring: %+v", n)
+	}
+	if n := g.Nets[1]; n.ControlFirst != 2 || n.ControlSecond != 4 || n.Target != 1 {
+		t.Errorf("d1 wiring: %+v", n)
+	}
+	if n := g.Nets[2]; n.ControlFirst != 1 || n.ControlSecond != 5 || n.Target != 3 {
+		t.Errorf("d2 wiring: %+v", n)
+	}
+	// Rows: row0 = [p0 p1], row1 = [p2 p5], row2 = [p3 p4].
+	wantRows := [][]int{{0, 3}, {1, 5}, {2, 4}}
+	if !reflect.DeepEqual(g.Rows, wantRows) {
+		t.Errorf("rows = %v, want %v", g.Rows, wantRows)
+	}
+}
+
+func TestModulesIdentity(t *testing.T) {
+	// #Modules = #rails + #CNOTs = #Qubits + #CNOTs + #|Y⟩ + #|A⟩ (Table 1).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		c := circuit.Random(rng, 4, 25)
+		res, err := decompose.ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := icm.FromCliffordT(res.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := rep.NumQubits() + len(rep.CNOTs) + rep.NumY() + rep.NumA()
+		if g.NumModules() != want {
+			t.Fatalf("trial %d: modules = %d, want %d", trial, g.NumModules(), want)
+		}
+	}
+}
+
+func TestCapsAndInjection(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.AppendNew(circuit.T, 0)
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	yCount, aCount := 0, 0
+	for _, row := range g.Rows {
+		m := g.Modules[row[0]]
+		if m.InitCap == geom.CapNone {
+			t.Fatalf("row-first module %d has no init cap", m.ID)
+		}
+		if m.InitCap == geom.CapInject {
+			switch m.Inject {
+			case geom.BoxY:
+				yCount++
+			case geom.BoxA:
+				aCount++
+			}
+		}
+		last := g.Modules[row[len(row)-1]]
+		if last.MeasCap == geom.CapNone {
+			t.Fatalf("row-last module %d has no measurement cap", last.ID)
+		}
+	}
+	if yCount != 2 || aCount != 1 {
+		t.Fatalf("injection modules Y=%d A=%d, want 2/1", yCount, aCount)
+	}
+}
+
+func TestGadgetOrderedBefore(t *testing.T) {
+	c := circuit.New("tt", 2)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.T, 0)
+	c.AppendNew(circuit.T, 1)
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byGadget [3]*Net
+	for _, n := range g.Nets {
+		if n.Gadget >= 0 && byGadget[n.Gadget] == nil {
+			byGadget[n.Gadget] = n
+		}
+	}
+	if !g.GadgetOrderedBefore(byGadget[0], byGadget[1]) {
+		t.Error("gadget 0 must precede gadget 1 (same qubit)")
+	}
+	if g.GadgetOrderedBefore(byGadget[1], byGadget[0]) {
+		t.Error("ordering must be asymmetric")
+	}
+	if g.GadgetOrderedBefore(byGadget[0], byGadget[2]) {
+		t.Error("different qubits are unordered")
+	}
+	if g.GadgetOrderedBefore(byGadget[0], byGadget[0]) {
+		t.Error("a gadget is not ordered before itself")
+	}
+	free := &Net{Gadget: -1}
+	if g.GadgetOrderedBefore(free, byGadget[0]) || g.GadgetOrderedBefore(byGadget[0], free) {
+		t.Error("gadget-free nets are unordered")
+	}
+}
+
+func TestDump(t *testing.T) {
+	g := threeCNOT(t)
+	out := g.Dump()
+	for _, want := range []string{"row 0:", "p1{d0,d1,d2}", "p5{d2}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := threeCNOT(t)
+	g.Modules[0].Nets = append(g.Modules[0].Nets, 1) // net 1 does not pass m0
+	if err := g.Validate(); err == nil {
+		t.Fatal("phantom pass accepted")
+	}
+
+	g = threeCNOT(t)
+	g.Modules[0].Nets = []int{0, 0}
+	if err := g.Validate(); err == nil {
+		t.Fatal("duplicate pass accepted")
+	}
+
+	g = threeCNOT(t)
+	g.Nets[0].Target = g.Nets[0].ControlFirst
+	if err := g.Validate(); err == nil {
+		t.Fatal("target on control row accepted")
+	}
+
+	g = threeCNOT(t)
+	g.Modules[0].InitCap = geom.CapNone
+	if err := g.Validate(); err == nil {
+		t.Fatal("missing init cap accepted")
+	}
+
+	g = threeCNOT(t)
+	g.Modules = append(g.Modules, &Module{ID: len(g.Modules)})
+	if err := g.Validate(); err == nil {
+		t.Fatal("module-count identity violation accepted")
+	}
+}
+
+func TestNetsThroughIsACopy(t *testing.T) {
+	g := threeCNOT(t)
+	nets := g.NetsThrough(1)
+	nets[0] = 99
+	if g.Modules[1].Nets[0] == 99 {
+		t.Fatal("NetsThrough must copy")
+	}
+}
+
+func TestPassesNet(t *testing.T) {
+	g := threeCNOT(t)
+	if !g.Modules[1].PassesNet(0) || g.Modules[0].PassesNet(1) {
+		t.Fatal("PassesNet broken")
+	}
+}
+
+func TestHasIM(t *testing.T) {
+	g := threeCNOT(t)
+	if !g.Modules[0].HasIM() {
+		t.Fatal("row-first module must have I/M")
+	}
+	// In the 3-CNOT case every row has exactly two modules, so all have
+	// I/M; fabricate a middle module check via a longer row.
+	c := circuit.New("long", 2)
+	for i := 0; i < 3; i++ {
+		c.AppendNew(circuit.CNOT, 1, 0)
+	}
+	rep, _ := icm.FromCliffordT(c)
+	g2, err := New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := g2.Modules[g2.Rows[0][1]]
+	if mid.HasIM() {
+		t.Fatal("interior module must not have I/M")
+	}
+}
+
+func TestRejectsInvalidICM(t *testing.T) {
+	rep := &icm.Rep{Name: "bad"}
+	rep.Rails = []icm.Rail{{ID: 0}}
+	rep.CNOTs = []icm.CNOT{{ID: 0, Control: 0, Target: 0}}
+	if _, err := New(rep); err == nil {
+		t.Fatal("invalid ICM accepted")
+	}
+}

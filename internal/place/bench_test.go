@@ -1,0 +1,74 @@
+package place
+
+import (
+	"testing"
+
+	"tqec/internal/bridge"
+	"tqec/internal/circuit"
+	"tqec/internal/icm"
+	"tqec/internal/pdgraph"
+	"tqec/internal/simplify"
+)
+
+// BenchmarkRunPlacement measures the full placement stage (build + SA +
+// pack) on a mid-size workload.
+func BenchmarkRunPlacement(b *testing.B) {
+	c := circuit.New("wl", 24)
+	for i := 0; i < 120; i++ {
+		t := i % 24
+		c.AppendNew(circuit.CNOT, t, (t+1+i%7)%24)
+		if i%12 == 0 {
+			c.AppendNew(circuit.T, t)
+		}
+	}
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := pdgraph.New(rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := simplify.Run(g, simplify.Options{})
+	p := bridge.Primal(s, nil)
+	d := bridge.Dual(s)
+	in, err := BuildItems(g, s, p, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(in, Options{Seed: int64(i), MaxMoves: 6000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Volume <= 0 {
+			b.Fatal("no volume")
+		}
+	}
+}
+
+// BenchmarkCompact measures the force-directed compaction pass.
+func BenchmarkCompact(b *testing.B) {
+	c := circuit.New("wl", 24)
+	for i := 0; i < 120; i++ {
+		t := i % 24
+		c.AppendNew(circuit.CNOT, t, (t+1+i%7)%24)
+	}
+	rep, _ := icm.FromCliffordT(c)
+	g, _ := pdgraph.New(rep)
+	s := simplify.Run(g, simplify.Options{})
+	p := bridge.Primal(s, nil)
+	d := bridge.Dual(s)
+	in, _ := BuildItems(g, s, p, d)
+	base, err := Run(in, Options{Seed: 1, MaxMoves: 6000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := *base
+		r.Placed = append([]Placed(nil), base.Placed...)
+		Compact(&r)
+	}
+}

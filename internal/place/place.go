@@ -1,0 +1,443 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tqec/internal/anneal"
+	"tqec/internal/btree"
+)
+
+// Options tunes the 2.5-D placement.
+type Options struct {
+	Seed         int64
+	MaxMoves     int     // SA move budget; 0 selects a size-scaled default
+	MovesPerTemp int     // 0 selects the anneal default
+	LambdaWire   float64 // HPWL weight; 0 selects 0.05
+	OrderWeight  float64 // time-ordering penalty weight; 0 selects 4.0
+	MaxLayers    int     // 0 selects ~cbrt(#items)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.MaxMoves <= 0 {
+		o.MaxMoves = 2000 + 60*n
+		if o.MaxMoves > 60000 {
+			o.MaxMoves = 60000
+		}
+	}
+	if o.LambdaWire <= 0 {
+		o.LambdaWire = 0.05
+	}
+	if o.OrderWeight <= 0 {
+		o.OrderWeight = 100.0
+	}
+	if o.MaxLayers <= 0 {
+		o.MaxLayers = int(math.Cbrt(float64(n))) + 1
+		if o.MaxLayers < 2 {
+			o.MaxLayers = 2
+		}
+	}
+	return o
+}
+
+// Placed is an item with its placement (min corner, paper units) and its
+// effective extents (W/H swapped when the floorplanner rotated the item in
+// the x–y plane).
+type Placed struct {
+	Item    *Item
+	X, Y, Z int
+	W, H, D int
+	Rotated bool
+	Layer   int
+}
+
+// Result is the placement outcome.
+type Result struct {
+	Input      *Input
+	Placed     []Placed
+	NX, NY, NZ int
+	Volume     int
+	HPWL       int
+	Order      float64 // residual ordering penalty (0 = fully legal)
+	SA         anneal.Result
+}
+
+// PinPosition returns the absolute position of a pin in paper units,
+// accounting for item rotation (a rotated chain runs its module sequence
+// along y instead of x).
+func (r *Result) PinPosition(p Pin) (x, y, z int) {
+	return pinPos(r.Placed, p)
+}
+
+func pinPos(pos []Placed, p Pin) (x, y, z int) {
+	pl := pos[p.Item]
+	z = pl.Z + p.DZ
+	if p.Flip {
+		// The flipped dual segment leaves on the far z side (eq. 5).
+		z = pl.Z + pl.D - pl.Item.Pad
+	}
+	if pl.Rotated {
+		// The floorplanner turned the item 90° in the x–y plane.
+		x = pl.X + p.DY
+		y = pl.Y + p.DX
+		return x, y, z
+	}
+	x = pl.X + p.DX
+	y = pl.Y + p.DY
+	return x, y, z
+}
+
+// layerState is one z-slab with its own B*-tree floorplan.
+type layerState struct {
+	items []int // item IDs resident in this slab
+	tree  *btree.Tree
+	w, h  int
+	depth int
+	pl    []btree.Placement
+}
+
+func (l *layerState) rebuild(items []Item) {
+	blocks := make([]btree.Block, len(l.items))
+	l.depth = 0
+	for i, id := range l.items {
+		it := items[id]
+		blocks[i] = btree.Block{ID: id, W: it.W, H: it.H, Rotatable: it.Kind == KindChain}
+		if it.D > l.depth {
+			l.depth = it.D
+		}
+	}
+	l.tree = btree.NewGrid(blocks)
+	l.pack()
+}
+
+func (l *layerState) pack() {
+	l.pl, l.w, l.h = l.tree.Pack()
+}
+
+// problem implements anneal.Problem over the 2.5-D state.
+type problem struct {
+	in     *Input
+	opt    Options
+	layers []*layerState
+	// netList is in.Nets flattened for allocation-free cost evaluation;
+	// posBuf is the reusable position scratch buffer.
+	netList [][]Pin
+	posBuf  []Placed
+}
+
+func newProblem(in *Input, opt Options) *problem {
+	p := &problem{in: in, opt: opt}
+	n := len(in.Items)
+	if n == 0 {
+		return p
+	}
+	reps := make([]int, 0, len(in.Nets))
+	for rep := range in.Nets {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	for _, rep := range reps {
+		if pins := in.Nets[rep]; len(pins) >= 2 {
+			p.netList = append(p.netList, pins)
+		}
+	}
+	p.posBuf = make([]Placed, n)
+	// Initial assignment: chunk items by depth so each slab holds items
+	// of similar z extent.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := in.Items[order[a]].D, in.Items[order[b]].D
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	nl := opt.MaxLayers
+	if nl > n {
+		nl = n
+	}
+	per := (n + nl - 1) / nl
+	for start := 0; start < n; start += per {
+		end := start + per
+		if end > n {
+			end = n
+		}
+		l := &layerState{items: append([]int(nil), order[start:end]...)}
+		l.rebuild(in.Items)
+		p.layers = append(p.layers, l)
+	}
+	return p
+}
+
+// itemPositions computes the absolute placement of every item into the
+// shared scratch buffer (copy it before keeping a reference).
+func (p *problem) itemPositions() []Placed {
+	if p.posBuf == nil {
+		p.posBuf = make([]Placed, len(p.in.Items))
+	}
+	out := p.posBuf
+	z := 0
+	for li, l := range p.layers {
+		if len(l.items) == 0 {
+			continue
+		}
+		for slot, bpl := range l.pl {
+			id := l.tree.Blocks[slot].ID
+			out[id] = Placed{
+				Item: &p.in.Items[id],
+				X:    bpl.X, Y: bpl.Y, Z: z,
+				W: bpl.W, H: bpl.H, D: p.in.Items[id].D,
+				Rotated: bpl.Rotated,
+				Layer:   li,
+			}
+		}
+		z += l.depth
+	}
+	return out
+}
+
+func (p *problem) dims() (nx, ny, nz int) {
+	for _, l := range p.layers {
+		if len(l.items) == 0 {
+			continue
+		}
+		if l.w > nx {
+			nx = l.w
+		}
+		if l.h > ny {
+			ny = l.h
+		}
+		nz += l.depth
+	}
+	return nx, ny, nz
+}
+
+func (p *problem) hpwl(pos []Placed) int {
+	total := 0
+	for _, pins := range p.netList {
+		minX, minY, minZ := math.MaxInt32, math.MaxInt32, math.MaxInt32
+		maxX, maxY, maxZ := math.MinInt32, math.MinInt32, math.MinInt32
+		for _, pin := range pins {
+			x, y, z := pinPos(pos, pin)
+			minX, maxX = min(minX, x), max(maxX, x)
+			minY, maxY = min(minY, y), max(maxY, y)
+			minZ, maxZ = min(minZ, z), max(maxZ, z)
+		}
+		total += (maxX - minX) + (maxY - minY) + (maxZ - minZ)
+	}
+	// Injection connections: box attach to consumer chain.
+	for _, it := range p.in.Items {
+		if it.Kind != KindBox || it.FeedsItem < 0 {
+			continue
+		}
+		a, b := pos[it.ID], pos[it.FeedsItem]
+		total += abs(a.X+a.W-b.X) + abs(a.Y-b.Y) + abs(a.Z-b.Z)
+	}
+	return total
+}
+
+func (p *problem) orderPenalty(pos []Placed) float64 {
+	v := 0.0
+	for _, it := range p.in.Items {
+		for _, before := range it.OrderAfter {
+			a, b := pos[before], pos[it.ID]
+			if d := (a.X) - (b.X); d > 0 {
+				v += float64(d)
+			}
+			if d := (a.X + a.W) - (b.X + b.W); d > 0 {
+				v += float64(d)
+			}
+		}
+	}
+	return v
+}
+
+// feedPenalty is the soft preference that a consumer start no earlier than
+// its distillation boxes.
+func (p *problem) feedPenalty(pos []Placed) float64 {
+	v := 0.0
+	for _, it := range p.in.Items {
+		for _, before := range it.FeedAfter {
+			a, b := pos[before], pos[it.ID]
+			if d := a.X - b.X; d > 0 {
+				v += float64(d)
+			}
+		}
+	}
+	return v
+}
+
+// Cost is volume + λ·HPWL + ω·order + soft feed preference.
+func (p *problem) Cost() float64 {
+	nx, ny, nz := p.dims()
+	pos := p.itemPositions()
+	return float64(nx*ny*nz) +
+		p.opt.LambdaWire*float64(p.hpwl(pos)) +
+		p.opt.OrderWeight*p.orderPenalty(pos) +
+		2*p.feedPenalty(pos)
+}
+
+// Perturb applies one move: intra-layer B*-tree perturbation, or an item
+// migration between layers.
+func (p *problem) Perturb(rng *rand.Rand) func() {
+	if len(p.layers) == 0 {
+		return nil
+	}
+	if rng.Float64() < 0.7 {
+		// Intra-layer structural move.
+		l := p.layers[rng.Intn(len(p.layers))]
+		if len(l.items) < 2 {
+			return nil
+		}
+		undo := l.tree.Perturb(rng)
+		if undo == nil {
+			return nil
+		}
+		l.pack()
+		return func() {
+			undo()
+			l.pack()
+		}
+	}
+	// Cross-layer migration.
+	from := p.layers[rng.Intn(len(p.layers))]
+	if len(from.items) == 0 {
+		return nil
+	}
+	to := p.layers[rng.Intn(len(p.layers))]
+	if to == from {
+		return nil
+	}
+	idx := rng.Intn(len(from.items))
+	id := from.items[idx]
+	fromSnap := from.capture()
+	toSnap := to.capture()
+	from.items = append(append([]int(nil), from.items[:idx]...), from.items[idx+1:]...)
+	to.items = append(append([]int(nil), to.items...), id)
+	from.rebuild(p.in.Items)
+	to.rebuild(p.in.Items)
+	return func() {
+		from.restore(fromSnap)
+		to.restore(toSnap)
+	}
+}
+
+// layerSnapshot is an exact copy of a layer, including the annealed tree
+// structure, so a rejected migration restores it without information loss.
+type layerSnapshot struct {
+	items []int
+	tree  btree.Snapshot
+	w, h  int
+	depth int
+	pl    []btree.Placement
+}
+
+func (l *layerState) capture() layerSnapshot {
+	return layerSnapshot{
+		items: append([]int(nil), l.items...),
+		tree:  l.tree.Snapshot(),
+		w:     l.w, h: l.h,
+		depth: l.depth,
+		pl:    append([]btree.Placement(nil), l.pl...),
+	}
+}
+
+func (l *layerState) restore(s layerSnapshot) {
+	l.items = s.items
+	l.tree = btree.FromSnapshot(s.tree)
+	l.w, l.h = s.w, s.h
+	l.depth = s.depth
+	l.pl = s.pl
+}
+
+type placeSnapshot struct {
+	items  [][]int
+	trees  []btree.Snapshot
+	depths []int
+}
+
+// Snapshot captures the layer structure.
+func (p *problem) Snapshot() any {
+	s := placeSnapshot{}
+	for _, l := range p.layers {
+		s.items = append(s.items, append([]int(nil), l.items...))
+		s.trees = append(s.trees, l.tree.Snapshot())
+		s.depths = append(s.depths, l.depth)
+	}
+	return s
+}
+
+// Restore reinstates a snapshot.
+func (p *problem) Restore(snap any) {
+	s := snap.(placeSnapshot)
+	for i, l := range p.layers {
+		l.items = append([]int(nil), s.items[i]...)
+		// Tree block sets may differ; rebuild then restore structure when
+		// the block count matches.
+		l.rebuild(p.in.Items)
+		if l.tree.Len() == len(s.items[i]) {
+			l.tree.Restore(s.trees[i])
+			l.pack()
+		}
+		l.depth = s.depths[i]
+	}
+}
+
+// Run executes the placement stage.
+func Run(in *Input, opt Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(len(in.Items))
+	p := newProblem(in, opt)
+	var sa anneal.Result
+	if len(in.Items) > 1 {
+		sa = anneal.Run(p, anneal.Options{
+			Seed:         opt.Seed,
+			MaxMoves:     opt.MaxMoves,
+			MovesPerTemp: opt.MovesPerTemp,
+		})
+	}
+	pos := append([]Placed(nil), p.itemPositions()...)
+	nx, ny, nz := p.dims()
+	res := &Result{
+		Input:  in,
+		Placed: pos,
+		NX:     nx, NY: ny, NZ: nz,
+		Volume: nx * ny * nz,
+		HPWL:   p.hpwl(pos),
+		Order:  p.orderPenalty(pos),
+		SA:     sa,
+	}
+	return res, nil
+}
+
+// CheckLegal verifies that no two items overlap in 3-D.
+func (r *Result) CheckLegal() error {
+	for i := 0; i < len(r.Placed); i++ {
+		for j := i + 1; j < len(r.Placed); j++ {
+			a, b := r.Placed[i], r.Placed[j]
+			if a.Item == nil || b.Item == nil {
+				continue
+			}
+			if a.X < b.X+b.W && b.X < a.X+a.W &&
+				a.Y < b.Y+b.H && b.Y < a.Y+a.H &&
+				a.Z < b.Z+b.D && b.Z < a.Z+a.D {
+				return fmt.Errorf("place: items %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

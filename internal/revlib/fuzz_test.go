@@ -1,0 +1,38 @@
+package revlib
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the .real parser for panics and, when parsing
+// succeeds, validates the resulting circuit and round-trips pure-Toffoli
+// families through the writer.
+func FuzzParse(f *testing.F) {
+	for _, s := range Samples {
+		f.Add(s)
+	}
+	f.Add(".numvars 2\n.variables a b\n.begin\nt2 a b\n.end\n")
+	f.Add(".numvars 1\n.begin\nt1 x0\n.end\n")
+	f.Add(".bogus\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid circuit: %v", err)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			return // non-reversible content cannot serialize; fine
+		}
+		back, err := ParseString(sb.String())
+		if err != nil {
+			t.Fatalf("writer emitted unparsable output: %v\n%s", err, sb.String())
+		}
+		if len(back.Gates) != len(c.Gates) {
+			t.Fatalf("round trip changed gate count: %d vs %d", len(back.Gates), len(c.Gates))
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package revlib reads and writes the RevLib ".real" format for reversible
+// circuits, the benchmark format used by the paper's evaluation (Wille et
+// al., ISMVL'08). The subset implemented covers the Toffoli family (t1/t2/
+// t3/tn) and Fredkin gates (f2/f3/fn, lowered to Toffoli triples), which is
+// everything the RevLib function benchmarks use.
+package revlib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tqec/internal/circuit"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("revlib: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a .real description into a circuit.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	c := circuit.New("", 0)
+	vars := map[string]int{}
+	inBody := false
+	ended := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			// The conventional header comment names the circuit.
+			if name, ok := strings.CutPrefix(text, "# "); ok && c.Name == "" {
+				c.Name = strings.TrimSpace(name)
+			}
+			continue
+		}
+		if ended {
+			return nil, errf(line, "content after .end")
+		}
+		fields := strings.Fields(text)
+		key := strings.ToLower(fields[0])
+		switch {
+		case key == ".version":
+			// accepted, ignored
+		case key == ".numvars":
+			if len(fields) != 2 {
+				return nil, errf(line, ".numvars wants one argument")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, errf(line, "bad .numvars %q", fields[1])
+			}
+			c.Width = n
+		case key == ".variables":
+			if c.Width == 0 {
+				c.Width = len(fields) - 1
+			}
+			if len(fields)-1 != c.Width {
+				return nil, errf(line, ".variables lists %d names for %d qubits", len(fields)-1, c.Width)
+			}
+			c.Labels = make([]string, 0, c.Width)
+			for i, name := range fields[1:] {
+				if _, dup := vars[name]; dup {
+					return nil, errf(line, "duplicate variable %q", name)
+				}
+				vars[name] = i
+				c.Labels = append(c.Labels, name)
+			}
+		case key == ".inputs" || key == ".outputs" || key == ".constants" ||
+			key == ".garbage" || key == ".inputbus" || key == ".outputbus" ||
+			key == ".define" || key == ".enddefine":
+			// metadata we do not need
+		case key == ".begin":
+			if c.Width == 0 {
+				return nil, errf(line, ".begin before .numvars/.variables")
+			}
+			inBody = true
+		case key == ".end":
+			ended = true
+		case strings.HasPrefix(key, "."):
+			return nil, errf(line, "unknown directive %q", key)
+		default:
+			if !inBody {
+				return nil, errf(line, "gate %q outside .begin/.end", key)
+			}
+			if err := parseGate(c, vars, fields, line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("revlib: %w", err)
+	}
+	if !ended && inBody {
+		return nil, errf(line, "missing .end")
+	}
+	if c.Width == 0 {
+		return nil, errf(line, "no circuit found")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("revlib: %w", err)
+	}
+	return c, nil
+}
+
+func parseGate(c *circuit.Circuit, vars map[string]int, fields []string, line int) error {
+	name := strings.ToLower(fields[0])
+	operands := make([]int, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		idx, err := resolveVar(vars, f, c.Width)
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		operands = append(operands, idx)
+	}
+	family := name[0]
+	sizeStr := name[1:]
+	size := len(operands)
+	if sizeStr != "" {
+		n, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			return errf(line, "unsupported gate %q", name)
+		}
+		size = n
+	}
+	if size != len(operands) {
+		return errf(line, "gate %q declares %d lines but has %d operands", name, size, len(operands))
+	}
+	switch family {
+	case 't': // Toffoli family: last operand is the target
+		if size < 1 {
+			return errf(line, "gate %q has no operands", name)
+		}
+		target := operands[size-1]
+		controls := operands[:size-1]
+		switch len(controls) {
+		case 0:
+			c.AppendNew(circuit.X, target)
+		case 1:
+			c.AppendNew(circuit.CNOT, target, controls[0])
+		case 2:
+			c.AppendNew(circuit.Toffoli, target, controls...)
+		default:
+			c.AppendNew(circuit.MCT, target, controls...)
+		}
+	case 'f': // Fredkin: controlled swap of the last two operands.
+		if size < 2 {
+			return errf(line, "fredkin %q needs ≥2 operands", name)
+		}
+		a, b := operands[size-2], operands[size-1]
+		controls := operands[:size-2]
+		// cswap(a,b) = cnot(b→a) · c*not(controls+a → b) · cnot(b→a)
+		c.AppendNew(circuit.CNOT, a, b)
+		ctl := append(append([]int{}, controls...), a)
+		switch len(ctl) {
+		case 1:
+			c.AppendNew(circuit.CNOT, b, ctl...)
+		case 2:
+			c.AppendNew(circuit.Toffoli, b, ctl...)
+		default:
+			c.AppendNew(circuit.MCT, b, ctl...)
+		}
+		c.AppendNew(circuit.CNOT, a, b)
+	default:
+		return errf(line, "unsupported gate family %q", name)
+	}
+	return nil
+}
+
+func resolveVar(vars map[string]int, tok string, width int) (int, error) {
+	if idx, ok := vars[tok]; ok {
+		return idx, nil
+	}
+	// Numeric operand form (x0, x1, … or bare integers) used by generated files.
+	t := strings.TrimPrefix(tok, "x")
+	if n, err := strconv.Atoi(t); err == nil && n >= 0 && (width == 0 || n < width) {
+		return n, nil
+	}
+	return 0, fmt.Errorf("unknown variable %q", tok)
+}
+
+// ParseString parses a .real description held in a string.
+func ParseString(s string) (*circuit.Circuit, error) {
+	c, err := Parse(strings.NewReader(s))
+	return c, err
+}
+
+// Write emits the circuit in .real format. MCT and Toffoli gates map to tn;
+// unsupported kinds (Clifford+T singles other than X) are rejected since
+// RevLib is a reversible-logic format.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	labels := c.Labels
+	if len(labels) == 0 {
+		labels = make([]string, c.Width)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("x%d", i)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n.version 2.0\n.numvars %d\n.variables %s\n.begin\n",
+		c.Name, c.Width, strings.Join(labels, " "))
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.X, circuit.CNOT, circuit.Toffoli, circuit.MCT:
+			ops := make([]string, 0, g.Arity())
+			for _, q := range g.Controls {
+				ops = append(ops, labels[q])
+			}
+			ops = append(ops, labels[g.Target])
+			fmt.Fprintf(bw, "t%d %s\n", g.Arity(), strings.Join(ops, " "))
+		default:
+			return fmt.Errorf("revlib: cannot serialize %s gate", g.Kind)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// Samples holds small embedded .real circuits for tests and examples.
+var Samples = map[string]string{
+	// A 3-bit Toffoli demonstrator.
+	"toffoli3": `# toffoli3
+.version 2.0
+.numvars 3
+.variables a b c
+.begin
+t3 a b c
+.end
+`,
+	// The paper's running example: three CNOT gates on interacting rails.
+	"threecnot": `# three CNOT gates (paper Fig. 1/6)
+.version 2.0
+.numvars 3
+.variables q0 q1 q2
+.begin
+t2 q0 q1
+t2 q2 q1
+t2 q1 q0
+.end
+`,
+	// A tiny full-adder-style mixed circuit with an MCT gate.
+	"mixed4": `# mixed 4-line circuit
+.version 2.0
+.numvars 4
+.variables a b c d
+.begin
+t1 a
+t2 a b
+t3 a b c
+t4 a b c d
+f3 b c d
+.end
+`,
+}

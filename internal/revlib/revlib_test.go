@@ -1,0 +1,273 @@
+package revlib
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"tqec/internal/circuit"
+)
+
+func TestParseSamples(t *testing.T) {
+	for name, src := range Samples {
+		c, err := ParseString(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: invalid circuit: %v", name, err)
+		}
+	}
+}
+
+func TestParseThreeCNOT(t *testing.T) {
+	c, err := ParseString(Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Width != 3 || len(c.Gates) != 3 {
+		t.Fatalf("shape: %v", c)
+	}
+	for i, g := range c.Gates {
+		if g.Kind != circuit.CNOT {
+			t.Fatalf("gate %d kind %v", i, g.Kind)
+		}
+	}
+	// t2 q0 q1: control q0, target q1.
+	if c.Gates[0].Controls[0] != 0 || c.Gates[0].Target != 1 {
+		t.Fatalf("gate 0 wiring: %v", c.Gates[0])
+	}
+}
+
+func TestParseGateFamilies(t *testing.T) {
+	src := `
+.numvars 5
+.variables a b c d e
+.begin
+t1 a
+t2 a b
+t3 a b c
+t4 a b c d
+t5 a b c d e
+.end
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []circuit.GateKind{circuit.X, circuit.CNOT, circuit.Toffoli, circuit.MCT, circuit.MCT}
+	for i, w := range wants {
+		if c.Gates[i].Kind != w {
+			t.Errorf("gate %d kind %v, want %v", i, c.Gates[i].Kind, w)
+		}
+	}
+	if len(c.Gates[4].Controls) != 4 {
+		t.Errorf("t5 controls = %v", c.Gates[4].Controls)
+	}
+}
+
+func TestParseFredkin(t *testing.T) {
+	src := ".numvars 3\n.variables a b c\n.begin\nf3 a b c\n.end\n"
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cswap lowers to cnot, toffoli, cnot.
+	if len(c.Gates) != 3 || c.Gates[0].Kind != circuit.CNOT ||
+		c.Gates[1].Kind != circuit.Toffoli || c.Gates[2].Kind != circuit.CNOT {
+		t.Fatalf("fredkin lowering: %v", c.Gates)
+	}
+	// Plain f2 is an uncontrolled swap: cnot cnot cnot.
+	c2, err := ParseString(".numvars 2\n.variables a b\n.begin\nf2 a b\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Gates) != 3 {
+		t.Fatalf("swap lowering: %v", c2.Gates)
+	}
+	for _, g := range c2.Gates {
+		if g.Kind != circuit.CNOT {
+			t.Fatalf("swap uses %v", g.Kind)
+		}
+	}
+}
+
+func TestParseNumericOperands(t *testing.T) {
+	src := ".numvars 3\n.begin\nt2 x0 x2\nt2 0 1\n.end\n"
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Target != 2 || c.Gates[1].Target != 1 {
+		t.Fatalf("numeric operand resolution: %v", c.Gates)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no content":         "",
+		"unknown directive":  ".bogus 1\n",
+		"bad numvars":        ".numvars zero\n",
+		"vars mismatch":      ".numvars 2\n.variables a b c\n.begin\n.end\n",
+		"duplicate variable": ".variables a a\n.begin\n.end\n",
+		"gate outside body":  ".numvars 2\n.variables a b\nt2 a b\n",
+		"missing end":        ".numvars 2\n.variables a b\n.begin\nt2 a b\n",
+		"begin before vars":  ".begin\n.end\n",
+		"unknown variable":   ".numvars 2\n.variables a b\n.begin\nt2 a q\n.end\n",
+		"arity mismatch":     ".numvars 3\n.variables a b c\n.begin\nt3 a b\n.end\n",
+		"unknown family":     ".numvars 2\n.variables a b\n.begin\nz2 a b\n.end\n",
+		"content after end":  ".numvars 1\n.variables a\n.begin\n.end\nt1 a\n",
+		"bad gate size":      ".numvars 2\n.variables a b\n.begin\ntx a b\n.end\n",
+		"fredkin too small":  ".numvars 2\n.variables a b\n.begin\nf1 a\n.end\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseString(".numvars 2\n.variables a b\n.begin\nt2 a zz\n.end\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 4 || !strings.Contains(pe.Error(), "line 4") {
+		t.Fatalf("line = %d, msg = %q", pe.Line, pe.Error())
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	src := "# header\n\n.numvars 2\n.variables a b\n# mid\n.begin\n\nt2 a b\n.end\n"
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 {
+		t.Fatalf("gates = %v", c.Gates)
+	}
+}
+
+func TestMetadataDirectivesAccepted(t *testing.T) {
+	src := `
+.version 2.0
+.numvars 2
+.variables a b
+.inputs a b
+.outputs a b
+.constants --
+.garbage --
+.begin
+t2 a b
+.end
+`
+	if _, err := ParseString(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := ParseString(Samples["mixed4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if back.Width != orig.Width || len(back.Gates) != len(orig.Gates) {
+		t.Fatalf("round trip changed shape: %v vs %v", back, orig)
+	}
+	for i := range back.Gates {
+		if back.Gates[i].String() != orig.Gates[i].String() {
+			t.Fatalf("gate %d changed: %v vs %v", i, back.Gates[i], orig.Gates[i])
+		}
+	}
+}
+
+func TestWriteUnlabeled(t *testing.T) {
+	c := circuit.New("anon", 2)
+	c.AppendNew(circuit.CNOT, 1, 0)
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x0 x1") {
+		t.Fatalf("generated labels missing: %s", sb.String())
+	}
+}
+
+func TestWriteRejectsNonReversible(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.AppendNew(circuit.T, 0)
+	var sb strings.Builder
+	if err := Write(&sb, c); err == nil {
+		t.Fatal("T gate serialized to .real")
+	}
+	bad := circuit.New("bad", 0)
+	if err := Write(&sb, bad); err == nil {
+		t.Fatal("invalid circuit serialized")
+	}
+}
+
+func TestParseTestdataFiles(t *testing.T) {
+	for _, name := range []string{"peres3", "fulladder"} {
+		f, err := os.Open("testdata/" + name + ".real")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name != name && !strings.HasPrefix(c.Name, name) {
+			t.Fatalf("%s: name = %q", name, c.Name)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPeresTruthSemantics(t *testing.T) {
+	f, err := os.Open("testdata/peres3.real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peres: c ^= a∧b then b ^= a. Spot-check a few rows classically.
+	eval := func(in uint64) uint64 {
+		v := in
+		for _, g := range c.Gates {
+			ok := true
+			for _, ctl := range g.Controls {
+				if v&(1<<uint(ctl)) == 0 {
+					ok = false
+				}
+			}
+			if ok {
+				v ^= 1 << uint(g.Target)
+			}
+		}
+		return v
+	}
+	if got := eval(0b011); got != 0b101 {
+		t.Fatalf("peres(011) = %03b", got)
+	}
+	if got := eval(0b001); got != 0b011 {
+		t.Fatalf("peres(001) = %03b", got)
+	}
+	if got := eval(0b000); got != 0b000 {
+		t.Fatalf("peres(000) = %03b", got)
+	}
+}

@@ -1,0 +1,125 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NetStats describes one routed net.
+type NetStats struct {
+	ID         int
+	Pins       int
+	Cells      int
+	Wirelength int     // cells beyond the distinct pins
+	Span       int     // Manhattan diameter of the pin set
+	Detour     float64 // wirelength / (span − 1), 1.0 = shortest possible two-pin route
+}
+
+// Stats summarizes a routing result against its nets.
+type Stats struct {
+	Nets       []NetStats
+	Routed     int
+	Failed     int
+	Total      int
+	Wirelength int
+	MaxDetour  float64
+	AvgDetour  float64
+}
+
+// Summarize computes per-net and aggregate statistics.
+func (r *Result) Summarize(nets []Net) Stats {
+	byID := make(map[int]Net, len(nets))
+	for _, n := range nets {
+		byID[n.ID] = n
+	}
+	st := Stats{Total: len(nets), Failed: len(r.Failed)}
+	sumDetour := 0.0
+	counted := 0
+	for id, cells := range r.Routes {
+		n := byID[id]
+		distinct := map[Cell]bool{}
+		for _, p := range n.Pins {
+			distinct[p] = true
+		}
+		ns := NetStats{
+			ID:         id,
+			Pins:       len(distinct),
+			Cells:      len(cells),
+			Wirelength: len(cells) - len(distinct),
+			Span:       pinSpan(n),
+		}
+		if ns.Span > 1 {
+			ns.Detour = float64(ns.Wirelength) / float64(ns.Span-1)
+		} else {
+			ns.Detour = 1
+		}
+		st.Nets = append(st.Nets, ns)
+		st.Routed++
+		st.Wirelength += ns.Wirelength
+		if ns.Detour > st.MaxDetour {
+			st.MaxDetour = ns.Detour
+		}
+		sumDetour += ns.Detour
+		counted++
+	}
+	if counted > 0 {
+		st.AvgDetour = sumDetour / float64(counted)
+	}
+	sort.Slice(st.Nets, func(i, j int) bool { return st.Nets[i].ID < st.Nets[j].ID })
+	return st
+}
+
+// String renders the aggregate line.
+func (s Stats) String() string {
+	return fmt.Sprintf("routing: %d/%d nets, wirelength %d, detour avg %.2f max %.2f, %d failed",
+		s.Routed, s.Total, s.Wirelength, s.AvgDetour, s.MaxDetour, s.Failed)
+}
+
+// CongestionHistogram buckets per-cell usage of the grid: index i holds
+// the number of cells used by exactly i nets (index 0 omitted). Residual
+// entries above 1 indicate unresolved sharing.
+func (g *Grid) CongestionHistogram() []int {
+	max := 0
+	for _, u := range g.usage {
+		if int(u) > max {
+			max = int(u)
+		}
+	}
+	h := make([]int, max+1)
+	for _, u := range g.usage {
+		if u > 0 {
+			h[u]++
+		}
+	}
+	if len(h) > 0 {
+		h[0] = 0
+	}
+	return h
+}
+
+// UsageSlice renders an ASCII congestion map of one z layer ('.' free,
+// digits = users, '#' blocked).
+func (g *Grid) UsageSlice(z int) string {
+	if z < 0 || z >= g.NZ {
+		return ""
+	}
+	var sb strings.Builder
+	for y := g.NY - 1; y >= 0; y-- {
+		for x := 0; x < g.NX; x++ {
+			c := Cell{x, y, z}
+			switch {
+			case g.blocked[g.idx(c)]:
+				sb.WriteByte('#')
+			case g.usage[g.idx(c)] == 0:
+				sb.WriteByte('.')
+			case g.usage[g.idx(c)] > 9:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte(byte('0') + byte(g.usage[g.idx(c)]))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

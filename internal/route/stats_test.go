@@ -1,0 +1,61 @@
+package route
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	g := mustGrid(t, 10, 6, 2)
+	nets := []Net{
+		{ID: 0, Pins: []Cell{{0, 1, 0}, {9, 1, 0}}},
+		{ID: 1, Pins: []Cell{{0, 3, 0}, {9, 3, 0}, {5, 5, 0}}},
+	}
+	res, err := Route(g, nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Summarize(nets)
+	if st.Routed != 2 || st.Failed != 0 || st.Total != 2 {
+		t.Fatalf("aggregate: %+v", st)
+	}
+	if st.Nets[0].ID != 0 || st.Nets[0].Pins != 2 {
+		t.Fatalf("net 0 stats: %+v", st.Nets[0])
+	}
+	// A straight two-pin net has detour 1.0.
+	if st.Nets[0].Detour != 1.0 {
+		t.Fatalf("straight detour = %f", st.Nets[0].Detour)
+	}
+	if st.Wirelength != res.Wirelength {
+		t.Fatalf("wirelength mismatch: %d vs %d", st.Wirelength, res.Wirelength)
+	}
+	if !strings.Contains(st.String(), "2/2 nets") {
+		t.Fatalf("string: %s", st)
+	}
+}
+
+func TestCongestionHistogram(t *testing.T) {
+	g := mustGrid(t, 5, 5, 1)
+	if h := g.CongestionHistogram(); len(h) != 1 || h[0] != 0 {
+		t.Fatalf("fresh histogram: %v", h)
+	}
+	g.occupy([]Cell{{0, 0, 0}, {1, 0, 0}})
+	g.occupy([]Cell{{1, 0, 0}})
+	h := g.CongestionHistogram()
+	if h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram: %v", h)
+	}
+}
+
+func TestUsageSlice(t *testing.T) {
+	g := mustGrid(t, 3, 2, 1)
+	g.Block(Cell{0, 0, 0})
+	g.occupy([]Cell{{1, 0, 0}})
+	out := g.UsageSlice(0)
+	if !strings.Contains(out, "#1.") {
+		t.Fatalf("slice:\n%s", out)
+	}
+	if g.UsageSlice(5) != "" {
+		t.Fatal("out-of-range slice")
+	}
+}

@@ -1,0 +1,238 @@
+// Package simplify implements the I-shaped simplification of the paper
+// (§3.2, Fig. 7–10): whenever the control-side current module of a CNOT
+// carries an initialization or measurement, the two control-side modules of
+// the gate's dual net merge into one primal structure via an x-axis bridge.
+//
+// The merge rewrites the PD graph's pass-through relation using *parts*:
+// the merging net's two control passes collapse into a single pass through
+// the new bridge part, while every other net that crossed either module
+// keeps its pass through that module's residual part. This part structure
+// is exactly what makes iterative dual bridging safe afterwards (paper
+// §3.4, Fig. 14): nets may only dual-bridge inside a common part.
+package simplify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tqec/internal/pdgraph"
+)
+
+// Options configures the simplification.
+type Options struct {
+	// MeasurementSide also merges a control pair whose innovative module
+	// carries the rail's measurement (the symmetric I/M case). The paper's
+	// examples exercise the initialization side; both are I/M.
+	MeasurementSide bool
+	// Disabled skips all merges, leaving the raw module pass-through
+	// relation. Used by the dual-only baseline of Hsu et al. (DAC'21),
+	// which has no I-shaped simplification stage.
+	Disabled bool
+}
+
+// Merge records one I-shaped merge: net Net's control pair (First, Second)
+// collapsed into bridge part Part.
+type Merge struct {
+	Net    int
+	First  int // module ID with the I/M
+	Second int // innovative module ID
+	Part   int // bridge part key
+}
+
+// Result is the simplified PD graph view.
+type Result struct {
+	Graph  *pdgraph.Graph
+	Merges []Merge
+
+	parent  []int         // union-find over modules (x-axis groups)
+	mergeOf map[int]int   // net ID -> index into Merges
+	parts   map[int][]int // part key -> net IDs passing through it
+}
+
+// Run performs the O(n) I-shaped scan over all nets.
+func Run(g *pdgraph.Graph, opt Options) *Result {
+	r := &Result{
+		Graph:   g,
+		parent:  make([]int, len(g.Modules)),
+		mergeOf: make(map[int]int),
+		parts:   make(map[int][]int),
+	}
+	for i := range r.parent {
+		r.parent[i] = i
+	}
+	for _, n := range g.Nets {
+		if opt.Disabled {
+			break
+		}
+		first := g.Modules[n.ControlFirst]
+		second := g.Modules[n.ControlSecond]
+		eligible := first.HasIM() || (opt.MeasurementSide && second.HasIM())
+		if !eligible {
+			continue
+		}
+		part := len(g.Modules) + len(r.Merges)
+		r.mergeOf[n.ID] = len(r.Merges)
+		r.Merges = append(r.Merges, Merge{Net: n.ID, First: n.ControlFirst, Second: n.ControlSecond, Part: part})
+		r.union(n.ControlFirst, n.ControlSecond)
+	}
+	// Build the part → nets index.
+	for _, n := range g.Nets {
+		for _, p := range r.NetParts(n.ID) {
+			r.parts[p] = append(r.parts[p], n.ID)
+		}
+	}
+	return r
+}
+
+func (r *Result) find(m int) int {
+	for r.parent[m] != m {
+		r.parent[m] = r.parent[r.parent[m]]
+		m = r.parent[m]
+	}
+	return m
+}
+
+func (r *Result) union(a, b int) {
+	ra, rb := r.find(a), r.find(b)
+	if ra != rb {
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		r.parent[rb] = ra
+	}
+}
+
+// NumMerges returns the number of I-shaped merges performed.
+func (r *Result) NumMerges() int { return len(r.Merges) }
+
+// Merged reports whether net id's control pair was merged.
+func (r *Result) Merged(net int) bool {
+	_, ok := r.mergeOf[net]
+	return ok
+}
+
+// GroupOf returns the x-axis group representative of a module.
+func (r *Result) GroupOf(module int) int { return r.find(module) }
+
+// SameGroup reports whether two modules were merged into one structure.
+func (r *Result) SameGroup(a, b int) bool { return r.find(a) == r.find(b) }
+
+// Groups returns the module groups, each sorted, ordered by representative.
+func (r *Result) Groups() [][]int {
+	byRep := map[int][]int{}
+	for m := range r.parent {
+		rep := r.find(m)
+		byRep[rep] = append(byRep[rep], m)
+	}
+	reps := make([]int, 0, len(byRep))
+	for rep := range byRep {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	out := make([][]int, 0, len(reps))
+	for _, rep := range reps {
+		ms := byRep[rep]
+		sort.Ints(ms)
+		out = append(out, ms)
+	}
+	return out
+}
+
+// NetParts returns the part keys net id passes through after
+// simplification: [bridge, target] for merged nets, [controlFirst,
+// controlSecond, target] residual module keys otherwise. Part keys below
+// len(Graph.Modules) are residual module IDs; larger keys are bridges.
+func (r *Result) NetParts(net int) []int {
+	n := r.Graph.Nets[net]
+	if mi, ok := r.mergeOf[net]; ok {
+		return []int{r.Merges[mi].Part, n.Target}
+	}
+	return []int{n.ControlFirst, n.ControlSecond, n.Target}
+}
+
+// PartNets returns the nets passing through the given part key.
+func (r *Result) PartNets(part int) []int {
+	return append([]int(nil), r.parts[part]...)
+}
+
+// Parts lists all part keys that at least one net passes, sorted.
+func (r *Result) Parts() []int {
+	keys := make([]int, 0, len(r.parts))
+	for k := range r.parts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// IsBridgePart reports whether a part key denotes an I-shape bridge.
+func (r *Result) IsBridgePart(part int) bool { return part >= len(r.Graph.Modules) }
+
+// Validate checks the part bookkeeping invariants: every merged net has
+// exactly one bridge part, parts reference valid nets, and the braiding
+// relation is preserved — each net still relates to exactly the module
+// groups it passed before simplification.
+func (r *Result) Validate() error {
+	g := r.Graph
+	for _, n := range g.Nets {
+		parts := r.NetParts(n.ID)
+		bridges := 0
+		for _, p := range parts {
+			if r.IsBridgePart(p) {
+				bridges++
+			}
+		}
+		if r.Merged(n.ID) && bridges != 1 {
+			return fmt.Errorf("simplify: merged net %d has %d bridge parts", n.ID, bridges)
+		}
+		if !r.Merged(n.ID) && bridges != 0 {
+			return fmt.Errorf("simplify: unmerged net %d has bridge parts", n.ID)
+		}
+		// Braiding preservation: the groups reachable through the net's
+		// parts must equal the groups of its original modules.
+		want := map[int]bool{}
+		for _, m := range n.Modules() {
+			want[r.find(m)] = true
+		}
+		got := map[int]bool{}
+		for _, p := range parts {
+			for _, m := range r.PartModules(p) {
+				got[r.find(m)] = true
+			}
+		}
+		if len(want) != len(got) {
+			return fmt.Errorf("simplify: net %d group relation changed: %v vs %v", n.ID, want, got)
+		}
+		for rep := range want {
+			if !got[rep] {
+				return fmt.Errorf("simplify: net %d lost group %d", n.ID, rep)
+			}
+		}
+	}
+	return nil
+}
+
+// PartModules returns the modules making up a part: both control modules
+// for a bridge part, or the single residual module.
+func (r *Result) PartModules(part int) []int {
+	if r.IsBridgePart(part) {
+		m := r.Merges[part-len(r.Graph.Modules)]
+		return []int{m.First, m.Second}
+	}
+	return []int{part}
+}
+
+// Dump renders groups and per-net parts for debugging.
+func (r *Result) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "groups (%d):\n", len(r.Groups()))
+	for _, grp := range r.Groups() {
+		fmt.Fprintf(&sb, "  %v\n", grp)
+	}
+	sb.WriteString("net parts:\n")
+	for _, n := range r.Graph.Nets {
+		fmt.Fprintf(&sb, "  d%d: %v\n", n.ID, r.NetParts(n.ID))
+	}
+	return sb.String()
+}

@@ -1,0 +1,209 @@
+package simplify
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tqec/internal/circuit"
+	"tqec/internal/decompose"
+	"tqec/internal/icm"
+	"tqec/internal/pdgraph"
+	"tqec/internal/revlib"
+)
+
+func buildGraph(t *testing.T, c *circuit.Circuit) *pdgraph.Graph {
+	t.Helper()
+	rep, err := icm.FromCliffordT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pdgraph.New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func threeCNOT(t *testing.T) *pdgraph.Graph {
+	t.Helper()
+	c, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildGraph(t, c)
+}
+
+// TestFig10Merges reproduces the paper's Fig. 10(a): the three control
+// pairs all merge, yielding groups {p0,p1}={m0,m3}, {p2,p5}={m1,m5},
+// {p3,p4}={m2,m4}.
+func TestFig10Merges(t *testing.T) {
+	g := threeCNOT(t)
+	r := Run(g, Options{})
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumMerges() != 3 {
+		t.Fatalf("merges = %d, want 3", r.NumMerges())
+	}
+	groups := r.Groups()
+	want := [][]int{{0, 3}, {1, 5}, {2, 4}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+	for _, n := range g.Nets {
+		if !r.Merged(n.ID) {
+			t.Errorf("net %d not merged", n.ID)
+		}
+	}
+}
+
+// TestFig14PartRelation reproduces §3.4: after simplification, d0 and d1
+// share the residual p2 part (m1) and may dual-bridge there, while d0 and
+// d2 share no part (the original p1 was split).
+func TestFig14PartRelation(t *testing.T) {
+	g := threeCNOT(t)
+	r := Run(g, Options{})
+	parts0 := r.NetParts(0)
+	parts1 := r.NetParts(1)
+	parts2 := r.NetParts(2)
+	common := func(a, b []int) []int {
+		m := map[int]bool{}
+		for _, x := range a {
+			m[x] = true
+		}
+		var out []int
+		for _, x := range b {
+			if m[x] {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	if got := common(parts0, parts1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("d0∩d1 = %v, want [1] (residual p2)", got)
+	}
+	if got := common(parts0, parts2); len(got) != 0 {
+		t.Fatalf("d0∩d2 = %v, want empty (split p1 separates them)", got)
+	}
+	if got := common(parts1, parts2); len(got) != 0 {
+		t.Fatalf("d1∩d2 = %v, want empty", got)
+	}
+	// The shared part is a residual module, not a bridge.
+	if r.IsBridgePart(1) {
+		t.Fatal("module part misclassified as bridge")
+	}
+	// Merged nets have exactly two parts: bridge + target.
+	if len(parts0) != 2 || !r.IsBridgePart(parts0[0]) {
+		t.Fatalf("d0 parts = %v", parts0)
+	}
+}
+
+func TestPartNetsIndex(t *testing.T) {
+	g := threeCNOT(t)
+	r := Run(g, Options{})
+	if got := r.PartNets(1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("nets through residual p2 = %v, want [0 1]", got)
+	}
+	// Bridge part of d2 holds only d2.
+	parts2 := r.NetParts(2)
+	if got := r.PartNets(parts2[0]); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("nets through d2 bridge = %v", got)
+	}
+	// Mutating the returned slice must not corrupt the index.
+	got := r.PartNets(1)
+	got[0] = 99
+	if r.PartNets(1)[0] == 99 {
+		t.Fatal("PartNets must copy")
+	}
+}
+
+func TestNoMergeWithoutIM(t *testing.T) {
+	// Interior control pairs (no I/M on the current module) must not merge.
+	c := circuit.New("interior", 2)
+	c.AppendNew(circuit.CNOT, 1, 0) // pair (col0, col1): merges
+	c.AppendNew(circuit.CNOT, 1, 0) // pair (col1, col2): col1 interior
+	c.AppendNew(circuit.CNOT, 1, 0) // pair (col2, col3): col2 interior...
+	g := buildGraph(t, c)
+	r := Run(g, Options{})
+	if r.NumMerges() != 1 {
+		t.Fatalf("merges = %d, want 1 (only the initialization-side pair)", r.NumMerges())
+	}
+	// With the measurement side enabled, the final pair (col2, col3=last,
+	// carries measurement) also merges.
+	r2 := Run(g, Options{MeasurementSide: true})
+	if r2.NumMerges() != 2 {
+		t.Fatalf("merges with measurement side = %d, want 2", r2.NumMerges())
+	}
+	if err := r2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameGroup(t *testing.T) {
+	g := threeCNOT(t)
+	r := Run(g, Options{})
+	if !r.SameGroup(0, 3) || !r.SameGroup(1, 5) || !r.SameGroup(2, 4) {
+		t.Fatal("expected merges missing")
+	}
+	if r.SameGroup(0, 1) || r.SameGroup(3, 2) {
+		t.Fatal("cross-group merge")
+	}
+	if r.GroupOf(3) != 0 {
+		t.Fatalf("representative of 3 = %d, want 0", r.GroupOf(3))
+	}
+}
+
+func TestPartModules(t *testing.T) {
+	g := threeCNOT(t)
+	r := Run(g, Options{})
+	bridge := r.NetParts(0)[0]
+	ms := r.PartModules(bridge)
+	if !reflect.DeepEqual(ms, []int{0, 3}) {
+		t.Fatalf("bridge modules = %v", ms)
+	}
+	if got := r.PartModules(1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("residual modules = %v", got)
+	}
+}
+
+func TestPartsSorted(t *testing.T) {
+	g := threeCNOT(t)
+	r := Run(g, Options{})
+	parts := r.Parts()
+	for i := 1; i < len(parts); i++ {
+		if parts[i] <= parts[i-1] {
+			t.Fatalf("parts not sorted: %v", parts)
+		}
+	}
+}
+
+func TestLinearTimeOverRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.Random(rng, 5, 40)
+		res, err := decompose.ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := buildGraph(t, res.Circuit)
+		r := Run(g, Options{MeasurementSide: true})
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Merge count is bounded by the net count.
+		if r.NumMerges() > len(g.Nets) {
+			t.Fatalf("trial %d: more merges than nets", trial)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	g := threeCNOT(t)
+	r := Run(g, Options{})
+	out := r.Dump()
+	if !strings.Contains(out, "groups (3):") || !strings.Contains(out, "d0:") {
+		t.Fatalf("dump: %s", out)
+	}
+}

@@ -1,0 +1,229 @@
+// Package statevec is a dense state-vector simulator for small quantum
+// circuits. The compression pipeline never needs it at runtime; it exists
+// to *verify* the preprocessing stage: gate decompositions (MCT → Toffoli
+// → Clifford+T) must preserve the circuit unitary up to global phase, and
+// the reversible-logic lowering of the revlib reader must implement the
+// intended boolean function. Pure stdlib, exact up to float64 rounding.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"tqec/internal/circuit"
+)
+
+// State is a normalized 2^n-dimensional state vector; amplitude order is
+// little-endian in qubit index (bit i of the basis index is qubit i).
+type State struct {
+	N   int
+	Amp []complex128
+}
+
+// NewState prepares |basis⟩ on n qubits.
+func NewState(n int, basis uint64) (*State, error) {
+	if n < 1 || n > 20 {
+		return nil, fmt.Errorf("statevec: unsupported qubit count %d", n)
+	}
+	if basis >= 1<<uint(n) {
+		return nil, fmt.Errorf("statevec: basis state %d out of range for %d qubits", basis, n)
+	}
+	s := &State{N: n, Amp: make([]complex128, 1<<uint(n))}
+	s.Amp[basis] = 1
+	return s, nil
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	return &State{N: s.N, Amp: append([]complex128(nil), s.Amp...)}
+}
+
+// Norm returns the 2-norm of the state (1 for valid states).
+func (s *State) Norm() float64 {
+	sum := 0.0
+	for _, a := range s.Amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// applySingle applies the 2×2 matrix [[a,b],[c,d]] to qubit q.
+func (s *State) applySingle(q int, a, b, c, d complex128) {
+	bit := uint64(1) << uint(q)
+	for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		v0, v1 := s.Amp[i], s.Amp[j]
+		s.Amp[i] = a*v0 + b*v1
+		s.Amp[j] = c*v0 + d*v1
+	}
+}
+
+// controlled reports whether all control bits are set in basis index i.
+func controlled(i uint64, controls []int) bool {
+	for _, c := range controls {
+		if i&(1<<uint(c)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply applies one gate to the state.
+func (s *State) Apply(g circuit.Gate) error {
+	if err := g.Validate(s.N); err != nil {
+		return err
+	}
+	invSqrt2 := complex(1/math.Sqrt2, 0)
+	switch g.Kind {
+	case circuit.X:
+		s.applySingle(g.Target, 0, 1, 1, 0)
+	case circuit.Z:
+		s.applySingle(g.Target, 1, 0, 0, -1)
+	case circuit.H:
+		s.applySingle(g.Target, invSqrt2, invSqrt2, invSqrt2, -invSqrt2)
+	case circuit.S:
+		s.applySingle(g.Target, 1, 0, 0, complex(0, 1))
+	case circuit.Sdg:
+		s.applySingle(g.Target, 1, 0, 0, complex(0, -1))
+	case circuit.T:
+		s.applySingle(g.Target, 1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
+	case circuit.Tdg:
+		s.applySingle(g.Target, 1, 0, 0, cmplx.Exp(complex(0, -math.Pi/4)))
+	case circuit.CNOT, circuit.Toffoli, circuit.MCT:
+		bit := uint64(1) << uint(g.Target)
+		for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+			if i&bit != 0 || !controlled(i, g.Controls) {
+				continue
+			}
+			j := i | bit
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	case circuit.CZ:
+		for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+			if i&(1<<uint(g.Target)) != 0 && controlled(i, g.Controls) {
+				s.Amp[i] = -s.Amp[i]
+			}
+		}
+	default:
+		return fmt.Errorf("statevec: unsupported gate %v", g)
+	}
+	return nil
+}
+
+// Run applies a whole circuit to |basis⟩ and returns the final state.
+func Run(c *circuit.Circuit, basis uint64) (*State, error) {
+	s, err := NewState(c.Width, basis)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Fidelity returns |⟨a|b⟩| for two states of equal dimension.
+func Fidelity(a, b *State) (float64, error) {
+	if a.N != b.N {
+		return 0, fmt.Errorf("statevec: dimension mismatch %d vs %d", a.N, b.N)
+	}
+	var ip complex128
+	for i := range a.Amp {
+		ip += cmplx.Conj(a.Amp[i]) * b.Amp[i]
+	}
+	return cmplx.Abs(ip), nil
+}
+
+// EquivalentUpToGlobalPhase reports whether two circuits implement the same
+// unitary up to global phase. The check enumerates all basis inputs over
+// the *shared* qubits; extra qubits of the wider circuit are clean work
+// ancillas pinned to |0⟩ (the convention for decompositions like the MCT
+// V-chain, which requires and restores clean ancillas). tol is the
+// fidelity slack (e.g. 1e-9).
+func EquivalentUpToGlobalPhase(a, b *circuit.Circuit, tol float64) (bool, error) {
+	n := a.Width
+	if b.Width > n {
+		n = b.Width
+	}
+	shared := a.Width
+	if b.Width < shared {
+		shared = b.Width
+	}
+	if n > 16 {
+		return false, fmt.Errorf("statevec: %d qubits too many for exhaustive check", n)
+	}
+	wide := func(c *circuit.Circuit) *circuit.Circuit {
+		if c.Width == n {
+			return c
+		}
+		w := c.Clone()
+		w.Width = n
+		w.Labels = nil
+		return w
+	}
+	wa, wb := wide(a), wide(b)
+	var refPhase complex128
+	havePhase := false
+	for basis := uint64(0); basis < 1<<uint(shared); basis++ {
+		sa, err := Run(wa, basis)
+		if err != nil {
+			return false, err
+		}
+		sb, err := Run(wb, basis)
+		if err != nil {
+			return false, err
+		}
+		f, err := Fidelity(sa, sb)
+		if err != nil {
+			return false, err
+		}
+		if f < 1-tol {
+			return false, nil
+		}
+		// Track the relative phase ⟨a|b⟩ and require it to be constant
+		// across basis states (a true *global* phase).
+		var ip complex128
+		for i := range sa.Amp {
+			ip += cmplx.Conj(sa.Amp[i]) * sb.Amp[i]
+		}
+		if !havePhase {
+			refPhase = ip
+			havePhase = true
+		} else if cmplx.Abs(ip-refPhase) > 1e-6 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TruthTable evaluates a reversible (X/CNOT/Toffoli/MCT-only) circuit as a
+// classical permutation of basis states.
+func TruthTable(c *circuit.Circuit) ([]uint64, error) {
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.X, circuit.CNOT, circuit.Toffoli, circuit.MCT:
+		default:
+			return nil, fmt.Errorf("statevec: gate %v is not classical-reversible", g)
+		}
+	}
+	if c.Width > 20 {
+		return nil, fmt.Errorf("statevec: %d qubits too many for a truth table", c.Width)
+	}
+	out := make([]uint64, 1<<uint(c.Width))
+	for in := range out {
+		v := uint64(in)
+		for _, g := range c.Gates {
+			if controlled(v, g.Controls) {
+				v ^= 1 << uint(g.Target)
+			}
+		}
+		out[in] = v
+	}
+	return out, nil
+}

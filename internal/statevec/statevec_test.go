@@ -1,0 +1,301 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tqec/internal/circuit"
+	"tqec/internal/decompose"
+	"tqec/internal/revlib"
+)
+
+func TestNewStateBasics(t *testing.T) {
+	s, err := NewState(2, 0b10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Amp[2] != 1 || s.Norm() != 1 {
+		t.Fatalf("state: %+v", s)
+	}
+	if _, err := NewState(0, 0); err == nil {
+		t.Fatal("zero qubits accepted")
+	}
+	if _, err := NewState(2, 4); err == nil {
+		t.Fatal("basis out of range accepted")
+	}
+	if _, err := NewState(21, 0); err == nil {
+		t.Fatal("oversized register accepted")
+	}
+}
+
+func TestPauliX(t *testing.T) {
+	c := circuit.New("x", 1)
+	c.AppendNew(circuit.X, 0)
+	s, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Amp[1] != 1 {
+		t.Fatalf("X|0> = %v", s.Amp)
+	}
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	c := circuit.New("h", 1)
+	c.AppendNew(circuit.H, 0)
+	s, err := Run(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt2
+	if math.Abs(real(s.Amp[0])-want) > 1e-12 || math.Abs(real(s.Amp[1])-want) > 1e-12 {
+		t.Fatalf("H|0> = %v", s.Amp)
+	}
+	// H² = I.
+	c.AppendNew(circuit.H, 0)
+	s, _ = Run(c, 0)
+	if math.Abs(real(s.Amp[0])-1) > 1e-12 {
+		t.Fatalf("H²|0> = %v", s.Amp)
+	}
+}
+
+func TestSTRelations(t *testing.T) {
+	// T² = S, S² = Z (checked on |+> to see the phase).
+	t2 := circuit.New("tt", 1)
+	t2.AppendNew(circuit.H, 0)
+	t2.AppendNew(circuit.T, 0)
+	t2.AppendNew(circuit.T, 0)
+	sC := circuit.New("s", 1)
+	sC.AppendNew(circuit.H, 0)
+	sC.AppendNew(circuit.S, 0)
+	ok, err := EquivalentUpToGlobalPhase(t2, sC, 1e-9)
+	if err != nil || !ok {
+		t.Fatalf("T² != S: %v %v", ok, err)
+	}
+	s2 := circuit.New("ss", 1)
+	s2.AppendNew(circuit.S, 0)
+	s2.AppendNew(circuit.S, 0)
+	zC := circuit.New("z", 1)
+	zC.AppendNew(circuit.Z, 0)
+	ok, err = EquivalentUpToGlobalPhase(s2, zC, 1e-9)
+	if err != nil || !ok {
+		t.Fatalf("S² != Z: %v %v", ok, err)
+	}
+	// T·T† = I.
+	tdg := circuit.New("ttdg", 1)
+	tdg.AppendNew(circuit.T, 0)
+	tdg.AppendNew(circuit.Tdg, 0)
+	id := circuit.New("id", 1)
+	ok, err = EquivalentUpToGlobalPhase(tdg, id, 1e-9)
+	if err != nil || !ok {
+		t.Fatalf("T·T† != I: %v %v", ok, err)
+	}
+	sdg := circuit.New("ssdg", 1)
+	sdg.AppendNew(circuit.S, 0)
+	sdg.AppendNew(circuit.Sdg, 0)
+	ok, err = EquivalentUpToGlobalPhase(sdg, id, 1e-9)
+	if err != nil || !ok {
+		t.Fatalf("S·S† != I: %v %v", ok, err)
+	}
+}
+
+func TestCZEqualsHCNOTH(t *testing.T) {
+	cz := circuit.New("cz", 2)
+	cz.AppendNew(circuit.CZ, 1, 0)
+	hch := circuit.New("hch", 2)
+	hch.AppendNew(circuit.H, 1)
+	hch.AppendNew(circuit.CNOT, 1, 0)
+	hch.AppendNew(circuit.H, 1)
+	ok, err := EquivalentUpToGlobalPhase(cz, hch, 1e-9)
+	if err != nil || !ok {
+		t.Fatalf("CZ != H·CNOT·H: %v %v", ok, err)
+	}
+}
+
+// TestToffoliDecompositionExact verifies the 7T+6CNOT+2H network used by
+// the preprocess stage implements Toffoli exactly (up to global phase).
+func TestToffoliDecompositionExact(t *testing.T) {
+	tof := circuit.New("tof", 3)
+	tof.AppendNew(circuit.Toffoli, 2, 0, 1)
+	res, err := decompose.ToCliffordT(tof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := EquivalentUpToGlobalPhase(tof, res.Circuit, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Toffoli decomposition is not unitarily equivalent")
+	}
+}
+
+// TestMCTDecompositionExact verifies the V-chain lowering for 3–5 controls
+// (work ancillas start and end in |0⟩, so the wide-identity convention of
+// EquivalentUpToGlobalPhase applies).
+func TestMCTDecompositionExact(t *testing.T) {
+	for k := 3; k <= 5; k++ {
+		mct := circuit.New("mct", k+1)
+		controls := make([]int, k)
+		for i := range controls {
+			controls[i] = i
+		}
+		mct.AppendNew(circuit.MCT, k, controls...)
+		res, err := decompose.ToCliffordT(mct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := EquivalentUpToGlobalPhase(mct, res.Circuit, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("MCT-%d decomposition is not unitarily equivalent", k)
+		}
+	}
+}
+
+// TestFredkinLoweringTruthTable verifies the revlib reader's controlled-
+// swap lowering as a classical permutation.
+func TestFredkinLoweringTruthTable(t *testing.T) {
+	c, err := revlib.ParseString(".numvars 3\n.variables a b c\n.begin\nf3 a b c\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := TruthTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for in, out := range tt {
+		a := uint64(in) & 1
+		b := (uint64(in) >> 1) & 1
+		cc := (uint64(in) >> 2) & 1
+		wb, wc := b, cc
+		if a == 1 {
+			wb, wc = cc, b
+		}
+		want := a | wb<<1 | wc<<2
+		if out != want {
+			t.Fatalf("fredkin(%03b) = %03b, want %03b", in, out, want)
+		}
+	}
+}
+
+func TestTruthTableRejectsNonClassical(t *testing.T) {
+	c := circuit.New("h", 1)
+	c.AppendNew(circuit.H, 0)
+	if _, err := TruthTable(c); err == nil {
+		t.Fatal("H accepted in truth table")
+	}
+}
+
+func TestRandomCircuitsPreserveNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(rng, 4, 30)
+		s, err := Run(c, uint64(rng.Intn(16)))
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompositionEquivalenceOnRandomReversibleCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		// Reversible circuits without Pauli gates (X/Z drops are frame
+		// re-interpretations, not unitary identities, so keep them out of
+		// a unitary-equivalence test).
+		c := circuit.New("rev", 4)
+		for i := 0; i < 6; i++ {
+			a, b2, d := rng.Intn(4), rng.Intn(4), rng.Intn(4)
+			for b2 == a {
+				b2 = rng.Intn(4)
+			}
+			for d == a || d == b2 {
+				d = rng.Intn(4)
+			}
+			if rng.Intn(2) == 0 {
+				c.AppendNew(circuit.CNOT, a, b2)
+			} else {
+				c.AppendNew(circuit.Toffoli, a, b2, d)
+			}
+		}
+		res, err := decompose.ToCliffordT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := EquivalentUpToGlobalPhase(c, res.Circuit, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: lowering changed semantics", trial)
+		}
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a, _ := NewState(1, 0)
+	b, _ := NewState(1, 1)
+	f, err := Fidelity(a, b)
+	if err != nil || f != 0 {
+		t.Fatalf("orthogonal fidelity = %f, %v", f, err)
+	}
+	f, _ = Fidelity(a, a)
+	if math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self fidelity = %f", f)
+	}
+	c, _ := NewState(2, 0)
+	if _, err := Fidelity(a, c); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestEquivalentRejectsDifferentCircuits(t *testing.T) {
+	x := circuit.New("x", 1)
+	x.AppendNew(circuit.X, 0)
+	z := circuit.New("z", 1)
+	z.AppendNew(circuit.Z, 0)
+	ok, err := EquivalentUpToGlobalPhase(x, z, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("X equivalent to Z?!")
+	}
+	// Same action on every basis state but with basis-dependent phases is
+	// NOT a global-phase equivalence: S vs identity.
+	s := circuit.New("s", 1)
+	s.AppendNew(circuit.S, 0)
+	id := circuit.New("id", 1)
+	ok, err = EquivalentUpToGlobalPhase(s, id, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("S equivalent to identity?!")
+	}
+}
+
+func TestApplyRejectsInvalidGate(t *testing.T) {
+	s, _ := NewState(1, 0)
+	if err := s.Apply(circuit.NewGate(circuit.CNOT, 0, 5)); err == nil {
+		t.Fatal("invalid gate accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s, _ := NewState(1, 0)
+	c := s.Clone()
+	c.Amp[0] = 0
+	if s.Amp[0] != 1 {
+		t.Fatal("clone aliases")
+	}
+}

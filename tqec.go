@@ -1,0 +1,169 @@
+// Package tqec compresses topologically quantum-error-corrected (TQEC)
+// braided circuits by simultaneous primal and dual defect bridge
+// compression, reproducing Tseng & Chang, "A Bridge-based Algorithm for
+// Simultaneous Primal and Dual Defects Compression on Topologically
+// Quantum-error-corrected Circuits" (DAC 2022).
+//
+// The compiler takes a reversible or Clifford+T circuit, lowers it to the
+// ICM (Initialization, CNOT, Measurement) form, modularizes it into the
+// 2-D primal–dual graph, applies I-shaped simplification, the
+// flipping-operation primal bridging and iterative dual bridging, places
+// the resulting super-modules with a 2.5-D B*-tree simulated-annealing
+// floorplanner, and routes the dual-defect nets with a negotiated A*
+// router. The figure of merit is the space-time volume (#x × #y × #z) of
+// the resulting three-dimensional geometric description.
+//
+// Quick start:
+//
+//	c := tqec.NewCircuit("example", 3)
+//	c.AppendNew(tqec.CNOT, 1, 0)
+//	c.AppendNew(tqec.T, 2)
+//	res, err := tqec.Compile(c, tqec.Options{Mode: tqec.Full})
+//	// res.Volume, res.CanonicalVolume, res.Summary()...
+//
+// The dual-only baseline of Hsu et al. (DAC'21) is available as
+// Mode: tqec.DualOnly, and the bench package entry points regenerate the
+// paper's Tables 1–3 and Fig. 1.
+package tqec
+
+import (
+	"io"
+
+	"tqec/internal/bench"
+	"tqec/internal/canonical"
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+	"tqec/internal/decompose"
+	"tqec/internal/deform"
+	"tqec/internal/geom"
+	"tqec/internal/icm"
+	"tqec/internal/revlib"
+)
+
+// Circuit is a gate-level quantum circuit (reversible or Clifford+T).
+type Circuit = circuit.Circuit
+
+// Gate is one gate instance.
+type Gate = circuit.Gate
+
+// GateKind enumerates the supported gates.
+type GateKind = circuit.GateKind
+
+// Supported gate kinds.
+const (
+	X       = circuit.X
+	Z       = circuit.Z
+	H       = circuit.H
+	S       = circuit.S
+	Sdg     = circuit.Sdg
+	T       = circuit.T
+	Tdg     = circuit.Tdg
+	CNOT    = circuit.CNOT
+	CZ      = circuit.CZ
+	Toffoli = circuit.Toffoli
+	MCT     = circuit.MCT
+)
+
+// NewCircuit creates an empty circuit with the given qubit count.
+func NewCircuit(name string, width int) *Circuit { return circuit.New(name, width) }
+
+// ParseReal reads a RevLib .real reversible circuit.
+func ParseReal(r io.Reader) (*Circuit, error) { return revlib.Parse(r) }
+
+// ParseRealString reads a RevLib .real circuit from a string.
+func ParseRealString(s string) (*Circuit, error) { return revlib.ParseString(s) }
+
+// WriteReal writes a reversible circuit in .real format.
+func WriteReal(w io.Writer, c *Circuit) error { return revlib.Write(w, c) }
+
+// ParseText reads the plain-text gate-list format (supports Clifford+T).
+func ParseText(r io.Reader) (*Circuit, error) { return circuit.ParseText(r) }
+
+// WriteText writes the plain-text gate-list format.
+func WriteText(w io.Writer, c *Circuit) error { return circuit.WriteText(w, c) }
+
+// Samples holds small embedded .real circuits, including "threecnot", the
+// paper's running example.
+var Samples = revlib.Samples
+
+// Mode selects the compression algorithm.
+type Mode = compress.Mode
+
+// Compression modes.
+const (
+	// Full is the paper's simultaneous primal+dual bridge compression.
+	Full = compress.Full
+	// DualOnly is the dual-bridging-only baseline of Hsu et al. [10].
+	DualOnly = compress.DualOnly
+	// DeformOnly applies topological deformation without bridging
+	// (Fig. 1(c)).
+	DeformOnly = compress.DeformOnly
+)
+
+// Effort scales the optimization budget.
+type Effort = compress.Effort
+
+// Effort levels.
+const (
+	EffortFast   = compress.EffortFast
+	EffortNormal = compress.EffortNormal
+	EffortHigh   = compress.EffortHigh
+)
+
+// Options configures a compilation.
+type Options = compress.Options
+
+// Result carries per-stage artifacts and the headline volumes.
+type Result = compress.Result
+
+// Compile runs the seven-stage compression pipeline on a circuit.
+func Compile(c *Circuit, opt Options) (*Result, error) { return compress.Compile(c, opt) }
+
+// CompileBest runs the pipeline once per seed in parallel (simulated-
+// annealing restarts) and returns the smallest-volume result;
+// deterministic for a fixed seed list. parallel ≤ 0 selects GOMAXPROCS.
+func CompileBest(c *Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
+	return compress.CompileBest(c, opt, seeds, parallel)
+}
+
+// ICM is the Initialization/CNOT/Measurement representation.
+type ICM = icm.Rep
+
+// BuildICM lowers a circuit to Clifford+T and expands it to ICM form.
+func BuildICM(c *Circuit) (*ICM, error) {
+	res, err := decompose.ToCliffordT(c)
+	if err != nil {
+		return nil, err
+	}
+	return icm.FromCliffordT(res.Circuit)
+}
+
+// CanonicalVolume returns the canonical-form space-time volume of an ICM
+// circuit (the closed form the paper's Table 2 uses).
+func CanonicalVolume(rep *ICM) int { return canonical.Volume(rep) }
+
+// CanonicalDescription builds the canonical 3-D geometric description.
+func CanonicalDescription(rep *ICM) (*Description, error) { return canonical.Describe(rep) }
+
+// DeformCanonical applies geometry-level topological deformation to the
+// canonical form (braid scheduling + pitch compaction; Fig. 1(c)) and
+// returns the deformed description. The braiding relation is preserved.
+func DeformCanonical(rep *ICM) (*Description, error) {
+	res, err := deform.TimeCompact(rep)
+	if err != nil {
+		return nil, err
+	}
+	return res.Description, nil
+}
+
+// Description is a 3-D geometric description (defects + boxes).
+type Description = geom.Description
+
+// Benchmark is one workload of the paper's Table 1.
+type Benchmark = bench.Spec
+
+// Benchmarks is the paper's benchmark suite with published numbers.
+var Benchmarks = bench.Table1
+
+// BenchmarkByName finds a Table-1 benchmark.
+func BenchmarkByName(name string) (Benchmark, bool) { return bench.ByName(name) }

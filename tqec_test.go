@@ -1,0 +1,121 @@
+package tqec_test
+
+import (
+	"strings"
+	"testing"
+
+	"tqec"
+)
+
+func TestQuickstartAPI(t *testing.T) {
+	c := tqec.NewCircuit("api", 5)
+	for i := 0; i < 25; i++ {
+		c.AppendNew(tqec.CNOT, (i+1)%5, i%5)
+	}
+	c.AppendNew(tqec.T, 2)
+	res, err := tqec.Compile(c, tqec.Options{Mode: tqec.Full, Seed: 1, Effort: tqec.EffortNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Volume <= 0 || res.CanonicalVolume <= res.Volume {
+		t.Fatalf("volumes: %d vs canonical %d", res.Volume, res.CanonicalVolume)
+	}
+}
+
+func TestSamplesAndParsers(t *testing.T) {
+	c, err := tqec.ParseRealString(tqec.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tqec.WriteReal(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tqec.ParseReal(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := tqec.WriteText(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tqec.ParseText(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICMAndCanonical(t *testing.T) {
+	c, err := tqec.ParseRealString(tqec.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tqec.BuildICM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tqec.CanonicalVolume(rep); got != 54 {
+		t.Fatalf("canonical = %d, want 54", got)
+	}
+	desc, err := tqec.CanonicalDescription(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Volume() != 54 {
+		t.Fatalf("geometric canonical = %d", desc.Volume())
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	if len(tqec.Benchmarks) != 8 {
+		t.Fatalf("benchmarks = %d", len(tqec.Benchmarks))
+	}
+	b, ok := tqec.BenchmarkByName("ham15_107")
+	if !ok || b.Qubits != 3753 {
+		t.Fatalf("lookup: %+v %v", b, ok)
+	}
+}
+
+func TestCompileBestFacade(t *testing.T) {
+	c, err := tqec.ParseRealString(tqec.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tqec.CompileBest(c, tqec.Options{Mode: tqec.Full}, []int64{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlacedVolume != 6 {
+		t.Fatalf("placed = %d, want 6", res.PlacedVolume)
+	}
+}
+
+func TestDeformOnlyFacade(t *testing.T) {
+	c, err := tqec.ParseRealString(tqec.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tqec.Compile(c, tqec.Options{Mode: tqec.DeformOnly, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Volume >= res.CanonicalVolume {
+		t.Fatalf("deform-only %d not below canonical %d", res.Volume, res.CanonicalVolume)
+	}
+}
+
+func TestDeformCanonicalFacade(t *testing.T) {
+	c, err := tqec.ParseRealString(tqec.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tqec.BuildICM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := tqec.DeformCanonical(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := desc.Volume(); v >= 54 || v < 32 {
+		t.Fatalf("deformed volume = %d", v)
+	}
+}
