@@ -1,0 +1,217 @@
+// Command tqec-lint runs the design-rule checker over a circuit compiled
+// through the full compression pipeline, or over a saved geometry dump,
+// and reports every violation with its rule, severity, stage, and
+// location. The exit status is 1 when error-severity violations exist, so
+// the tool gates CI pipelines.
+//
+// Usage:
+//
+//	tqec-lint -sample threecnot
+//	tqec-lint -in circuit.real -mode dual -effort normal
+//	tqec-lint -bench 4gt10-v1_81 -json report.json
+//	tqec-lint -geom geometry.json         # lint an exported geometry dump
+//	tqec-lint -list                        # list the registered rules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tqec/internal/bench"
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+	"tqec/internal/drc"
+	"tqec/internal/geom"
+	"tqec/internal/revlib"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tqec-lint", flag.ContinueOnError)
+	var (
+		inReal      = fs.String("in", "", "RevLib .real circuit file")
+		inText      = fs.String("text", "", "plain-text gate-list circuit file")
+		sample      = fs.String("sample", "", "embedded sample name (threecnot, toffoli3, mixed4)")
+		benchName   = fs.String("bench", "", "synthetic Table-1 benchmark name")
+		geomDump    = fs.String("geom", "", "lint a saved geometry JSON dump instead of compiling")
+		mode        = fs.String("mode", "full", "compression mode: full | dual | deform")
+		effort      = fs.String("effort", "fast", "optimization effort: fast | normal | high")
+		seed        = fs.Int64("seed", 1, "random seed for all stochastic stages")
+		skipRouting = fs.Bool("skip-routing", false, "stop after placement (route/geometry rules are skipped)")
+		rules       = fs.String("rules", "", "comma-separated rule names to run (default: all)")
+		jsonOut     = fs.String("json", "", "write the machine-readable report to this file")
+		list        = fs.Bool("list", false, "list the registered rules and exit")
+		quiet       = fs.Bool("quiet", false, "print only the summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, r := range drc.Rules() {
+			fmt.Printf("%-22s %-13s %-5s %s\n", r.Name, r.Stage, r.Severity, r.Doc)
+		}
+		return 0
+	}
+
+	var report *drc.Report
+	opt := drc.Options{}
+	if *rules != "" {
+		for _, n := range strings.Split(*rules, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if _, ok := drc.RuleByName(n); !ok {
+				fmt.Fprintf(os.Stderr, "tqec-lint: unknown rule %q (see -list)\n", n)
+				return 2
+			}
+			opt.Rules = append(opt.Rules, n)
+		}
+	}
+
+	switch {
+	case *geomDump != "":
+		f, err := os.Open(*geomDump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqec-lint:", err)
+			return 2
+		}
+		desc, err := geom.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqec-lint:", err)
+			return 2
+		}
+		report = drc.Run(&drc.Artifacts{Name: *geomDump, Geometry: desc}, opt)
+	default:
+		c, err := loadCircuit(*inReal, *inText, *sample, *benchName, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqec-lint:", err)
+			return 2
+		}
+		copt := compress.Options{
+			Seed:         *seed,
+			SkipRouting:  *skipRouting,
+			KeepGeometry: true,
+			DRC:          true,
+		}
+		switch *mode {
+		case "full":
+			copt.Mode = compress.Full
+		case "dual":
+			copt.Mode = compress.DualOnly
+		case "deform":
+			copt.Mode = compress.DeformOnly
+		default:
+			fmt.Fprintf(os.Stderr, "tqec-lint: unknown mode %q\n", *mode)
+			return 2
+		}
+		switch *effort {
+		case "fast":
+			copt.Effort = compress.EffortFast
+		case "normal":
+			copt.Effort = compress.EffortNormal
+		case "high":
+			copt.Effort = compress.EffortHigh
+		default:
+			fmt.Fprintf(os.Stderr, "tqec-lint: unknown effort %q\n", *effort)
+			return 2
+		}
+		res, err := compress.Compile(c, copt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqec-lint:", err)
+			return 2
+		}
+		report = res.DRC
+		if len(opt.Rules) > 0 {
+			// Re-filter the staged report to the requested rules.
+			report = filterReport(report, opt.Rules)
+		}
+	}
+
+	if *quiet {
+		fmt.Println(report.Summary())
+	} else {
+		fmt.Print(report.String())
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqec-lint:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tqec-lint:", err)
+			return 2
+		}
+	}
+	if !report.Clean() {
+		return 1
+	}
+	return 0
+}
+
+// filterReport keeps only the named rules' outcomes.
+func filterReport(r *drc.Report, names []string) *drc.Report {
+	keep := map[string]bool{}
+	for _, n := range names {
+		keep[n] = true
+	}
+	out := &drc.Report{Name: r.Name}
+	for _, v := range r.Violations {
+		if keep[v.Rule] {
+			out.Violations = append(out.Violations, v)
+		}
+	}
+	for _, n := range r.Ran {
+		if keep[n] {
+			out.Ran = append(out.Ran, n)
+		}
+	}
+	for _, n := range r.Skipped {
+		if keep[n] {
+			out.Skipped = append(out.Skipped, n)
+		}
+	}
+	return out
+}
+
+func loadCircuit(inReal, inText, sample, benchName string, seed int64) (*circuit.Circuit, error) {
+	switch {
+	case inReal != "":
+		f, err := os.Open(inReal)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return revlib.Parse(f)
+	case inText != "":
+		f, err := os.Open(inText)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ParseText(f)
+	case sample != "":
+		src, ok := revlib.Samples[sample]
+		if !ok {
+			return nil, fmt.Errorf("unknown sample %q", sample)
+		}
+		return revlib.ParseString(src)
+	case benchName != "":
+		spec, ok := bench.ByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		return spec.Generate(seed)
+	default:
+		return nil, fmt.Errorf("need one of -in, -text, -sample, -bench, -geom")
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 		skipRouting = flag.Bool("skip-routing", false, "stop after placement (fast, volume = placed volume)")
 		viz         = flag.Bool("viz", false, "dump ASCII layers of the compressed geometry")
 		measSide    = flag.Bool("im-measurement-side", false, "also I-shape-merge measurement-side control pairs")
+		runDRC      = flag.Bool("drc", false, "run the design-rule checker at every stage transition")
 		jsonOut     = flag.String("json", "", "write a machine-readable result report to this file")
 	)
 	flag.Parse()
@@ -45,8 +46,9 @@ func main() {
 	opt := compress.Options{
 		Seed:                  *seed,
 		SkipRouting:           *skipRouting,
-		KeepGeometry:          *viz,
+		KeepGeometry:          *viz || *runDRC,
 		MeasurementSideIShape: *measSide,
+		DRC:                   *runDRC,
 	}
 	switch *mode {
 	case "full":
@@ -88,7 +90,11 @@ func main() {
 	}
 	fmt.Printf("volume:    %d  (%.1f%% of canonical, %.2fs)\n",
 		res.Volume, 100*float64(res.Volume)/float64(res.CanonicalVolume), res.Runtime.Seconds())
-	fmt.Printf("%s\n", res.AuditSchedule())
+	audit := res.AuditSchedule()
+	fmt.Printf("%s\n", audit)
+	if res.DRC != nil {
+		fmt.Print(res.DRC.String())
+	}
 	if *viz && res.Geometry != nil {
 		fmt.Println()
 		fmt.Print(res.Geometry.DumpLayers())
@@ -105,6 +111,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	// Fail loudly: a violated measurement ordering or an error-severity
+	// design-rule violation makes the compiled result unusable, and a
+	// pipeline consuming the exit status must see that.
+	if !audit.Satisfied() {
+		fmt.Fprintf(os.Stderr, "tqecc: schedule audit failed: %s\n", audit)
+		os.Exit(1)
+	}
+	if res.DRC != nil && !res.DRC.Clean() {
+		fmt.Fprintf(os.Stderr, "tqecc: drc failed: %d error(s)\n", res.DRC.Errors())
+		os.Exit(1)
 	}
 }
 

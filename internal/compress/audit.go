@@ -11,6 +11,10 @@ type ScheduleAudit struct {
 	Constraints int // ordering constraints checked
 	Violations  int // constraints with before.x > after.x
 	SameItem    int // constraint pairs co-located in one super-module
+	// Unresolved counts rails whose measurement module resolved to no
+	// placement item; constraints touching such a rail cannot be checked
+	// and a nonzero count means the audit's coverage is incomplete.
+	Unresolved int
 }
 
 // Satisfied reports whether every cross-item constraint holds.
@@ -18,15 +22,21 @@ func (a ScheduleAudit) Satisfied() bool { return a.Violations == 0 }
 
 // String renders the audit line.
 func (a ScheduleAudit) String() string {
-	return fmt.Sprintf("schedule: %d constraints, %d co-located, %d violated",
+	s := fmt.Sprintf("schedule: %d constraints, %d co-located, %d violated",
 		a.Constraints, a.SameItem, a.Violations)
+	if a.Unresolved > 0 {
+		s += fmt.Sprintf(", %d rails unresolved", a.Unresolved)
+	}
+	return s
 }
 
 // AuditSchedule checks the time-ordering of the compiled result. Pairs
 // whose measurements land inside the same super-module are counted as
 // co-located (their relative order is fixed by the intra-module x offsets
 // of the I-shaped structure, not by placement), and cross-item pairs are
-// compared by item x position.
+// compared by item x position. Rails whose measurement module resolves to
+// no placement item are counted in Unresolved instead of being silently
+// dropped.
 func (r *Result) AuditSchedule() ScheduleAudit {
 	var audit ScheduleAudit
 	if r.ICM == nil || r.Placement == nil || r.Graph == nil {
@@ -50,6 +60,8 @@ func (r *Result) AuditSchedule() ScheduleAudit {
 		itemOf[rail.ID] = found
 		if found >= 0 {
 			xOf[rail.ID] = r.Placement.Placed[found].X
+		} else {
+			audit.Unresolved++
 		}
 	}
 	for _, c := range r.ICM.Constraints {

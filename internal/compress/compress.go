@@ -20,6 +20,7 @@ import (
 	"tqec/internal/canonical"
 	"tqec/internal/circuit"
 	"tqec/internal/decompose"
+	"tqec/internal/drc"
 	"tqec/internal/geom"
 	"tqec/internal/icm"
 	"tqec/internal/pdgraph"
@@ -120,6 +121,10 @@ type Options struct {
 	// (deterministic first, then seeded random starts), keeping the one
 	// with the fewest chains. 0 or 1 = single deterministic run.
 	PrimalRestarts int
+	// DRC runs the design-rule checker after every stage transition and
+	// attaches the merged report to Result.DRC. Violations do not abort
+	// the pipeline; callers decide how strictly to treat the report.
+	DRC bool
 }
 
 // Result carries the outcome of every pipeline stage.
@@ -151,6 +156,12 @@ type Result struct {
 	RouteFailed     int
 	RouteSqueezed   int // route cells crossing box walls (should be ~0)
 	Runtime         time.Duration
+
+	// DRC is the staged design-rule-check report (Options.DRC).
+	DRC *drc.Report
+	// DRCArtifacts is the artifact bundle the checker ran over (always
+	// populated); tools and tests can re-run individual rules against it.
+	DRCArtifacts *drc.Artifacts
 }
 
 // Compile runs the pipeline on a (reversible or Clifford+T) circuit.
@@ -172,16 +183,37 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	if start.IsZero() {
 		start = time.Now()
 	}
+	// In -drc mode the artifact set grows as stages complete and the
+	// checker runs at every stage transition (stage rules see exactly the
+	// artifacts that exist so far; cross-stage rules fire at the
+	// transition where their last input appears).
+	art := &drc.Artifacts{Name: name, ICM: rep, RouteCapacity: routeCellCapacity}
+	var drcRep *drc.Report
+	check := func(st drc.Stage) {
+		if !opt.DRC {
+			return
+		}
+		if drcRep == nil {
+			drcRep = &drc.Report{Name: name}
+		}
+		drcRep.Merge(drc.RunStage(art, st))
+	}
+	check(drc.StageICM)
+
 	g, err := pdgraph.New(rep)
 	if err != nil {
 		return nil, fmt.Errorf("compress: pdgraph: %w", err)
 	}
+	art.Graph = g
+	check(drc.StagePDGraph)
 
 	sOpt := simplify.Options{MeasurementSide: opt.MeasurementSideIShape}
 	if opt.Mode != Full {
 		sOpt = simplify.Options{Disabled: true}
 	}
 	s := simplify.Run(g, sOpt)
+	art.Simplified = s
+	check(drc.StageSimplify)
 
 	var p *bridge.PrimalResult
 	if opt.Mode == Full {
@@ -193,12 +225,17 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	} else {
 		p = bridge.Singletons(s)
 	}
+	art.Primal = p
+	check(drc.StagePrimal)
+
 	var d *bridge.DualResult
 	if opt.Mode == DeformOnly {
 		d = bridge.DualNone(s)
 	} else {
 		d = bridge.Dual(s)
 	}
+	art.Dual = d
+	check(drc.StageDual)
 
 	in, err := place.BuildItems(g, s, p, d)
 	if err != nil {
@@ -213,10 +250,15 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	}
 	if !opt.NoCompaction {
 		place.Compact(pl)
-		if err := pl.CheckLegal(); err != nil {
-			return nil, fmt.Errorf("compress: compaction: %w", err)
-		}
 	}
+	// Repair any residual measurement-ordering violations the annealer's
+	// soft penalty left behind; compaction alone never moves items right.
+	place.LegalizeOrder(pl)
+	if err := pl.CheckLegal(); err != nil {
+		return nil, fmt.Errorf("compress: placement legality: %w", err)
+	}
+	art.Placement = pl
+	check(drc.StagePlace)
 
 	res := &Result{
 		Name:            name,
@@ -238,21 +280,31 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	res.Volume = res.PlacedVolume
 
 	if !opt.SkipRouting {
-		rr, grid, off, err := routeNets(pl, opt)
+		rr, grid, nets, off, err := routeNets(pl, opt)
 		if err != nil {
 			return nil, fmt.Errorf("compress: route: %w", err)
 		}
-		_ = grid
 		res.Routing = rr
 		res.Wirelength = rr.Wirelength
 		res.RouteOverflow = rr.Overflow
 		res.RouteFailed = len(rr.Failed)
 		res.RouteSqueezed = rr.Squeezed
 		res.Volume = finalVolume(pl, rr, off)
+		art.Routing = rr
+		art.RouteGrid = grid
+		art.RouteNets = nets
+		art.RouteOffset = off
 	}
+	// The last two transitions also run when their stage was skipped, so
+	// the report records the route/geometry rules as not checked.
+	check(drc.StageRoute)
 	if opt.KeepGeometry {
 		res.Geometry = realize(res)
+		art.Geometry = res.Geometry
 	}
+	check(drc.StageGeometry)
+	res.DRC = drcRep
+	res.DRCArtifacts = art
 	res.Runtime = time.Since(start)
 	return res, nil
 }
@@ -301,11 +353,16 @@ func dim(v int) int {
 // halo is the free routing band around the placement, in cells.
 const halo = 2
 
+// routeCellCapacity is the per-cell dual-strand capacity: the doubled
+// lattice admits two dual strands per unit cell at half-unit offsets while
+// keeping one-unit dual–dual separation (DESIGN.md §5b).
+const routeCellCapacity = 2
+
 // RoutePlacement routes the dual components of a finished placement and
 // returns the routing result (exposed for ablation studies and tools; the
 // pipeline calls it internally).
 func RoutePlacement(pl *place.Result, opt Options) (*route.Result, error) {
-	rr, _, _, err := routeNets(pl, opt)
+	rr, _, _, _, err := routeNets(pl, opt)
 	return rr, err
 }
 
@@ -313,10 +370,10 @@ func RoutePlacement(pl *place.Result, opt Options) (*route.Result, error) {
 // placement. Distillation boxes are hard obstacles; primal chain interiors
 // are transparent to dual strands (the sub-lattices interleave), matching
 // the paper's model where dual segments thread the primal rings.
-func routeNets(pl *place.Result, opt Options) (*route.Result, *route.Grid, route.Cell, error) {
+func routeNets(pl *place.Result, opt Options) (*route.Result, *route.Grid, []route.Net, route.Cell, error) {
 	grid, err := route.NewGrid(pl.NX+2*halo+1, pl.NY+2*halo+1, pl.NZ+2*halo+1)
 	if err != nil {
-		return nil, nil, route.Cell{}, err
+		return nil, nil, nil, route.Cell{}, err
 	}
 	off := route.Cell{X: halo, Y: halo, Z: halo}
 	for _, it := range pl.Placed {
@@ -367,17 +424,14 @@ func routeNets(pl *place.Result, opt Options) (*route.Result, *route.Grid, route
 		}
 		nets = append(nets, n)
 	}
-	// Capacity 2: the doubled lattice admits two dual strands per unit
-	// cell at half-unit offsets while keeping one-unit dual–dual
-	// separation (DESIGN.md §5b).
 	rr, err := route.Route(grid, nets, route.Options{
 		MaxIters:     opt.Effort.routeIters(),
-		CellCapacity: 2,
+		CellCapacity: routeCellCapacity,
 	})
 	if err != nil {
-		return nil, nil, route.Cell{}, err
+		return nil, nil, nil, route.Cell{}, err
 	}
-	return rr, grid, off, nil
+	return rr, grid, nets, off, nil
 }
 
 // finalVolume unions the placed content box with the routed dual extents.
@@ -430,20 +484,37 @@ func realize(res *Result) *geom.Description {
 				At:   geom.Pt(it.X*geom.Unit, it.Y*geom.Unit, it.Z*geom.Unit),
 			})
 		case place.KindChain:
-			// The chain lies along y: one primal ring per group in the
-			// x–z plane, z-axis bridge studs realized as y-direction
-			// connectors between consecutive rings (the flipping
-			// operation's bridges).
+			// The chain lies along y (or along x when the floorplanner
+			// rotated the item): one primal ring per group normal to the
+			// chain axis, bridge studs realized as chain-axis connectors
+			// between consecutive rings (the flipping operation's
+			// bridges). Placed.W/H are the effective (already swapped)
+			// extents, so the group width is H for rotated items.
 			d := geom.Defect{Kind: geom.Primal, Label: fmt.Sprintf("chain%d", it.Item.ID)}
-			w := (it.W - it.Item.Pad) * geom.Unit
-			x0, z0 := it.X*geom.Unit, it.Z*geom.Unit
-			for k := range it.Item.Chain {
-				y := (it.Y + k) * geom.Unit
-				ring := geom.RingAround(geom.Primal, geom.Y, y, x0, x0+w, z0, z0+geom.Unit)
-				d.AddPath(ring.Path())
-				if k > 0 {
-					// Bridge stud to the previous ring.
-					d.AddSeg(geom.SegOf(geom.Pt(x0, y-geom.Unit, z0), geom.Pt(x0, y, z0)))
+			z0 := it.Z * geom.Unit
+			if it.Rotated {
+				w := (it.H - it.Item.Pad) * geom.Unit
+				y0 := it.Y * geom.Unit
+				for k := range it.Item.Chain {
+					x := (it.X + k) * geom.Unit
+					ring := geom.RingAround(geom.Primal, geom.X, x, y0, y0+w, z0, z0+geom.Unit)
+					d.AddPath(ring.Path())
+					if k > 0 {
+						// Bridge stud to the previous ring.
+						d.AddSeg(geom.SegOf(geom.Pt(x-geom.Unit, y0, z0), geom.Pt(x, y0, z0)))
+					}
+				}
+			} else {
+				w := (it.W - it.Item.Pad) * geom.Unit
+				x0 := it.X * geom.Unit
+				for k := range it.Item.Chain {
+					y := (it.Y + k) * geom.Unit
+					ring := geom.RingAround(geom.Primal, geom.Y, y, x0, x0+w, z0, z0+geom.Unit)
+					d.AddPath(ring.Path())
+					if k > 0 {
+						// Bridge stud to the previous ring.
+						d.AddSeg(geom.SegOf(geom.Pt(x0, y-geom.Unit, z0), geom.Pt(x0, y, z0)))
+					}
 				}
 			}
 			desc.Add(d)

@@ -1,0 +1,152 @@
+package drc
+
+// Engine mechanics: registry invariants, rule selection, report
+// accounting, and the string renderings tools grep for.
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestRegisterRejectsDuplicatesAndInvalid(t *testing.T) {
+	// "icm-structure" is a builtin; re-registering must panic before the
+	// registry is touched, so the global state survives the test.
+	mustPanic(t, "duplicate name", func() {
+		Register(&Rule{Name: "icm-structure", Check: func(*Artifacts, *Reporter) {}})
+	})
+	mustPanic(t, "empty name", func() {
+		Register(&Rule{Check: func(*Artifacts, *Reporter) {}})
+	})
+	mustPanic(t, "nil check", func() {
+		Register(&Rule{Name: "no-check"})
+	})
+}
+
+func TestRegistryStageOrdered(t *testing.T) {
+	rules := Rules()
+	if len(rules) == 0 {
+		t.Fatal("no builtin rules registered")
+	}
+	for i := 1; i < len(rules); i++ {
+		a, b := rules[i-1], rules[i]
+		if a.Stage > b.Stage || (a.Stage == b.Stage && a.Name >= b.Name) {
+			t.Fatalf("registry out of order at %d: %s/%s before %s/%s",
+				i, a.Stage, a.Name, b.Stage, b.Name)
+		}
+	}
+	for _, r := range rules {
+		if r.Doc == "" {
+			t.Errorf("rule %s has no doc", r.Name)
+		}
+		if r.Applies == nil {
+			t.Errorf("rule %s declares no artifact needs", r.Name)
+		}
+	}
+}
+
+func TestRuleByName(t *testing.T) {
+	if r, ok := RuleByName("schedule-order"); !ok || r.Stage != StagePlace {
+		t.Fatalf("schedule-order lookup: %v, %v", r, ok)
+	}
+	if _, ok := RuleByName("no-such-rule"); ok {
+		t.Fatal("phantom rule found")
+	}
+}
+
+func TestOptionsFiltering(t *testing.T) {
+	a := &Artifacts{} // nothing present: every selected rule is skipped
+	rep := Run(a, Options{Stages: []Stage{StageICM}})
+	var icmRules int
+	for _, r := range Rules() {
+		if r.Stage == StageICM {
+			icmRules++
+		}
+	}
+	if len(rep.Ran)+len(rep.Skipped) != icmRules {
+		t.Fatalf("stage filter selected %d rules, want %d",
+			len(rep.Ran)+len(rep.Skipped), icmRules)
+	}
+
+	rep = Run(a, Options{Rules: []string{"route-capacity"}})
+	if len(rep.Ran)+len(rep.Skipped) != 1 || rep.Skipped[0] != "route-capacity" {
+		t.Fatalf("name filter: ran=%v skipped=%v", rep.Ran, rep.Skipped)
+	}
+}
+
+func TestReportMergeAccounting(t *testing.T) {
+	a := &Report{Ran: []string{"r1"}, Skipped: []string{"r2", "r3"}}
+	b := &Report{
+		Ran:        []string{"r2"}, // skipped earlier, ran in a later pass
+		Skipped:    []string{"r3"},
+		Violations: []Violation{{Rule: "r2", Message: "boom"}},
+	}
+	a.Merge(b)
+	if len(a.Violations) != 1 {
+		t.Fatalf("violations = %d", len(a.Violations))
+	}
+	if got := strings.Join(a.Ran, ","); got != "r1,r2" {
+		t.Fatalf("ran = %s", got)
+	}
+	if got := strings.Join(a.Skipped, ","); got != "r3" {
+		t.Fatalf("skipped = %s (a rule that ran anywhere is not skipped)", got)
+	}
+	a.Merge(nil) // no-op
+	if len(a.Ran) != 2 {
+		t.Fatal("nil merge changed the report")
+	}
+}
+
+func TestReportCounts(t *testing.T) {
+	r := &Reporter{rule: &Rule{Name: "x", Stage: StageRoute, Severity: Warn}}
+	r.Violationf(NoLoc, "default severity")
+	r.Errorf(LocItem(3), "hard failure")
+	r.Infof(LocNet(1), "fyi")
+	rep := &Report{Violations: r.violations}
+	if rep.Errors() != 1 || rep.Warnings() != 1 || rep.Count(Info) != 1 {
+		t.Fatalf("counts: %d errors, %d warnings, %d infos",
+			rep.Errors(), rep.Warnings(), rep.Count(Info))
+	}
+	if rep.Clean() {
+		t.Fatal("report with an error is not clean")
+	}
+	if vs := rep.ByRule("x"); len(vs) != 3 {
+		t.Fatalf("ByRule = %d violations", len(vs))
+	}
+	if rules := rep.Rules(); len(rules) != 1 || rules[0] != "x" {
+		t.Fatalf("Rules = %v", rules)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	loc := LocRail(2).WithItem(5).At("cell", 1, 2, 3)
+	if got := loc.String(); got != "rail 2 item 5 (1,2,3) cell" {
+		t.Fatalf("location = %q", got)
+	}
+	if got := NoLoc.String(); got != "" {
+		t.Fatalf("NoLoc = %q", got)
+	}
+	v := Violation{Rule: "r", Stage: "route", Severity: "error", Message: "m", Loc: LocNet(7)}
+	if got := v.String(); got != "error route/r: m [net 7]" {
+		t.Fatalf("violation = %q", got)
+	}
+	for _, s := range Stages() {
+		if strings.HasPrefix(s.String(), "stage(") {
+			t.Errorf("stage %d unnamed", int(s))
+		}
+	}
+	for _, sev := range []Severity{Info, Warn, Error} {
+		if strings.HasPrefix(sev.String(), "severity(") {
+			t.Errorf("severity %d unnamed", int(sev))
+		}
+	}
+}

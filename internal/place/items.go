@@ -90,6 +90,13 @@ type Input struct {
 	Items []Item
 	// Nets lists, per dual component (by representative), its pins.
 	Nets map[int][]Pin
+	// OrderEdges lists every cross-item ordering edge {before, after}
+	// lifted from the rail-level measurement constraints, including the
+	// contradictory pairs that are pruned from Item.OrderAfter. The
+	// legalizer needs the complete relation: a contradictory pair is still
+	// satisfiable by placing both items at the same x (the audit's
+	// inequality is strict).
+	OrderEdges [][2]int
 	// itemOfGroup maps group representative -> item index.
 	itemOfGroup map[int]int
 }
@@ -198,11 +205,18 @@ func BuildItems(g *pdgraph.Graph, s *simplify.Result, p *bridge.PrimalResult, d 
 		edges[edge{a, b}] = true
 	}
 	for e := range edges {
+		in.OrderEdges = append(in.OrderEdges, [2]int{e.before, e.after})
 		if edges[edge{e.after, e.before}] {
 			continue // contradictory under contraction
 		}
 		in.Items[e.after].OrderAfter = append(in.Items[e.after].OrderAfter, e.before)
 	}
+	sort.Slice(in.OrderEdges, func(i, j int) bool {
+		if in.OrderEdges[i][0] != in.OrderEdges[j][0] {
+			return in.OrderEdges[i][0] < in.OrderEdges[j][0]
+		}
+		return in.OrderEdges[i][1] < in.OrderEdges[j][1]
+	})
 	for i := range in.Items {
 		sort.Ints(in.Items[i].OrderAfter)
 	}

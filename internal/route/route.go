@@ -178,7 +178,16 @@ func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
 	})
 
 	routed := map[int][]Cell{}
-	for iter := 0; iter < opt.MaxIters; iter++ {
+	// A result with overflowed cells is unusable (the geometry would merge
+	// dual defects), so the iteration budget is soft: when the budget runs
+	// out with overflow still shrinking, negotiation continues until it
+	// stalls for three rounds or hits the hard cap.
+	best := 1 << 30
+	stall := 0
+	for iter := 0; iter < 8*opt.MaxIters; iter++ {
+		if iter >= opt.MaxIters && stall >= 3 {
+			break
+		}
 		res.Iters = iter + 1
 		// First round routes everything; later rounds rip up and reroute
 		// only the nets sitting on overflowed cells, one at a time, so
@@ -224,6 +233,12 @@ func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
 		res.Overflow = overflow
 		if overflow == 0 {
 			break
+		}
+		if overflow < best {
+			best = overflow
+			stall = 0
+		} else {
+			stall++
 		}
 	}
 	// Collect results.
