@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ func main() {
 		measSide    = flag.Bool("im-measurement-side", false, "also I-shape-merge measurement-side control pairs")
 		runDRC      = flag.Bool("drc", false, "run the design-rule checker at every stage transition")
 		jsonOut     = flag.String("json", "", "write a machine-readable result report to this file")
+		timeout     = flag.Duration("timeout", 0, "abort the compile after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -71,8 +74,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := compress.Compile(c, opt)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := compress.CompileContext(ctx, c, opt)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "tqecc: compile exceeded -timeout %s\n", *timeout)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "tqecc:", err)
 		os.Exit(1)
 	}

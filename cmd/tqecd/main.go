@@ -1,0 +1,83 @@
+// Command tqecd is the TQEC compilation daemon: a long-lived HTTP/JSON
+// service that compiles circuits on a bounded worker pool, caches results
+// by content address, and supports per-job deadlines and cancellation.
+//
+// Usage:
+//
+//	tqecd -addr :8142 -workers 4 -queue 64 -cache 256
+//
+// Submit and fetch a compile:
+//
+//	curl -s -X POST localhost:8142/v1/jobs \
+//	    -d '{"source":{"sample":"threecnot"},"options":{"mode":"full"}}'
+//	curl -s localhost:8142/v1/jobs/j000001/result
+//
+// SIGINT/SIGTERM triggers a graceful drain: in-flight compiles finish
+// (up to -drain-grace), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tqec/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8142", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
+		cacheSize  = flag.Int("cache", 256, "result-cache entries (-1 disables caching)")
+		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the request sets none")
+		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on requested per-job deadlines")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight compiles")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "tqecd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "tqecd: %s, draining (grace %s)\n", sig, *drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		// Stop accepting connections first, then drain the job queue.
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "tqecd: http shutdown: %v\n", err)
+		}
+		if err := svc.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "tqecd: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "tqecd: drained cleanly")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "tqecd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -72,6 +73,22 @@ func (r Result) String() string {
 
 // Run anneals the problem and leaves it in its best-found state.
 func Run(p Problem, opt Options) Result {
+	res, _ := RunContext(context.Background(), p, opt)
+	return res
+}
+
+// ctxCheckEvery is how many accepted-or-rejected moves pass between
+// context polls. One poll per move would be prompt but wasteful; a small
+// batch keeps the cancellation latency at a handful of cost evaluations.
+const ctxCheckEvery = 64
+
+// RunContext anneals the problem, polling ctx at move-batch boundaries.
+// On cancellation (or deadline) it restores the best state found so far
+// and returns the partial result together with ctx's error, so callers
+// can distinguish a completed schedule from an interrupted one. An
+// uninterrupted run is identical to Run for the same seed: the context
+// polls never touch the random stream.
+func RunContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 	cur := p.Cost()
 	opt = opt.withDefaults(cur)
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -79,13 +96,23 @@ func Run(p Problem, opt Options) Result {
 	res := Result{InitialCost: cur, BestCost: cur}
 	best := p.Snapshot()
 
+	var err error
+anneal:
 	for temp := opt.InitialTemp; temp > opt.FinalTemp && res.Moves < opt.MaxMoves; temp *= opt.Cooling {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		for i := 0; i < opt.MovesPerTemp && res.Moves < opt.MaxMoves; i++ {
 			undo := p.Perturb(rng)
 			if undo == nil {
 				continue
 			}
 			res.Moves++
+			if res.Moves%ctxCheckEvery == 0 {
+				if err = ctx.Err(); err != nil {
+					break anneal
+				}
+			}
 			next := p.Cost()
 			delta := next - cur
 			accept := delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
@@ -105,5 +132,5 @@ func Run(p Problem, opt Options) Result {
 		}
 	}
 	p.Restore(best)
-	return res
+	return res, err
 }

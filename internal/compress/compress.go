@@ -13,6 +13,7 @@
 package compress
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -162,10 +163,35 @@ type Result struct {
 	// DRCArtifacts is the artifact bundle the checker ran over (always
 	// populated); tools and tests can re-run individual rules against it.
 	DRCArtifacts *drc.Artifacts
+
+	// StageTimes records per-stage wall-clock in pipeline order (skipped
+	// stages are absent). The compile service feeds these into its
+	// per-stage latency histograms.
+	StageTimes []StageTime
+
+	// Seed-restart accounting, populated by CompileBest: how many seeds
+	// ran and, when some (but not all) failed, which ones and why.
+	SeedsTried int
+	SeedErrors []SeedError
+}
+
+// StageTime is one pipeline stage's wall-clock.
+type StageTime struct {
+	Stage    string
+	Duration time.Duration
 }
 
 // Compile runs the pipeline on a (reversible or Clifford+T) circuit.
 func Compile(c *circuit.Circuit, opt Options) (*Result, error) {
+	return CompileContext(context.Background(), c, opt)
+}
+
+// CompileContext runs the pipeline under a context. Cancellation and
+// deadline expiry are observed at stage transitions and inside the two
+// iterative hot loops (placement annealing and routing negotiation), so
+// a runaway compile stops within one iteration boundary of ctx firing
+// and returns ctx's error.
+func CompileContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, error) {
 	start := time.Now()
 	lowered, err := decompose.ToCliffordT(c)
 	if err != nil {
@@ -175,13 +201,26 @@ func Compile(c *circuit.Circuit, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compress: icm: %w", err)
 	}
-	return CompileICM(rep, c.Name, opt, start, lowered.Circuit)
+	return CompileICMContext(ctx, rep, c.Name, opt, start, lowered.Circuit)
 }
 
 // CompileICM runs the pipeline from an already-built ICM representation.
 func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered *circuit.Circuit) (*Result, error) {
+	return CompileICMContext(context.Background(), rep, name, opt, start, lowered)
+}
+
+// CompileICMContext is CompileICM with cancellation support (see
+// CompileContext).
+func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Options, start time.Time, lowered *circuit.Circuit) (*Result, error) {
 	if start.IsZero() {
 		start = time.Now()
+	}
+	stageStart := time.Now()
+	var stages []StageTime
+	mark := func(stage string) {
+		now := time.Now()
+		stages = append(stages, StageTime{Stage: stage, Duration: now.Sub(stageStart)})
+		stageStart = now
 	}
 	// In -drc mode the artifact set grows as stages complete and the
 	// checker runs at every stage transition (stage rules see exactly the
@@ -199,6 +238,9 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 		drcRep.Merge(drc.RunStage(art, st))
 	}
 	check(drc.StageICM)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
 
 	g, err := pdgraph.New(rep)
 	if err != nil {
@@ -206,6 +248,7 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	}
 	art.Graph = g
 	check(drc.StagePDGraph)
+	mark("pdgraph")
 
 	sOpt := simplify.Options{MeasurementSide: opt.MeasurementSideIShape}
 	if opt.Mode != Full {
@@ -214,6 +257,10 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	s := simplify.Run(g, sOpt)
 	art.Simplified = s
 	check(drc.StageSimplify)
+	mark("simplify")
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
 
 	var p *bridge.PrimalResult
 	if opt.Mode == Full {
@@ -227,6 +274,7 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	}
 	art.Primal = p
 	check(drc.StagePrimal)
+	mark("primal-bridge")
 
 	var d *bridge.DualResult
 	if opt.Mode == DeformOnly {
@@ -236,12 +284,16 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	}
 	art.Dual = d
 	check(drc.StageDual)
+	mark("dual-bridge")
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
 
 	in, err := place.BuildItems(g, s, p, d)
 	if err != nil {
 		return nil, fmt.Errorf("compress: items: %w", err)
 	}
-	pl, err := place.Run(in, place.Options{
+	pl, err := place.RunContext(ctx, in, place.Options{
 		Seed:     opt.Seed,
 		MaxMoves: opt.Effort.placeMoves(len(in.Items)),
 	})
@@ -259,6 +311,7 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	}
 	art.Placement = pl
 	check(drc.StagePlace)
+	mark("place")
 
 	res := &Result{
 		Name:            name,
@@ -280,7 +333,7 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	res.Volume = res.PlacedVolume
 
 	if !opt.SkipRouting {
-		rr, grid, nets, off, err := routeNets(pl, opt)
+		rr, grid, nets, off, err := routeNets(ctx, pl, opt)
 		if err != nil {
 			return nil, fmt.Errorf("compress: route: %w", err)
 		}
@@ -294,6 +347,7 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 		art.RouteGrid = grid
 		art.RouteNets = nets
 		art.RouteOffset = off
+		mark("route")
 	}
 	// The last two transitions also run when their stage was skipped, so
 	// the report records the route/geometry rules as not checked.
@@ -301,10 +355,12 @@ func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered
 	if opt.KeepGeometry {
 		res.Geometry = realize(res)
 		art.Geometry = res.Geometry
+		mark("geometry")
 	}
 	check(drc.StageGeometry)
 	res.DRC = drcRep
 	res.DRCArtifacts = art
+	res.StageTimes = stages
 	res.Runtime = time.Since(start)
 	return res, nil
 }
@@ -362,7 +418,7 @@ const routeCellCapacity = 2
 // returns the routing result (exposed for ablation studies and tools; the
 // pipeline calls it internally).
 func RoutePlacement(pl *place.Result, opt Options) (*route.Result, error) {
-	rr, _, _, _, err := routeNets(pl, opt)
+	rr, _, _, _, err := routeNets(context.Background(), pl, opt)
 	return rr, err
 }
 
@@ -370,7 +426,7 @@ func RoutePlacement(pl *place.Result, opt Options) (*route.Result, error) {
 // placement. Distillation boxes are hard obstacles; primal chain interiors
 // are transparent to dual strands (the sub-lattices interleave), matching
 // the paper's model where dual segments thread the primal rings.
-func routeNets(pl *place.Result, opt Options) (*route.Result, *route.Grid, []route.Net, route.Cell, error) {
+func routeNets(ctx context.Context, pl *place.Result, opt Options) (*route.Result, *route.Grid, []route.Net, route.Cell, error) {
 	grid, err := route.NewGrid(pl.NX+2*halo+1, pl.NY+2*halo+1, pl.NZ+2*halo+1)
 	if err != nil {
 		return nil, nil, nil, route.Cell{}, err
@@ -424,7 +480,7 @@ func routeNets(pl *place.Result, opt Options) (*route.Result, *route.Grid, []rou
 		}
 		nets = append(nets, n)
 	}
-	rr, err := route.Route(grid, nets, route.Options{
+	rr, err := route.RouteContext(ctx, grid, nets, route.Options{
 		MaxIters:     opt.Effort.routeIters(),
 		CellCapacity: routeCellCapacity,
 	})

@@ -1,14 +1,54 @@
 package compress
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"tqec/internal/circuit"
 	"tqec/internal/icm"
 )
+
+// SeedError is one failed simulated-annealing restart: the seed that ran
+// and the error its pipeline returned.
+type SeedError struct {
+	Seed int64
+	Err  error
+}
+
+func (e SeedError) Error() string { return fmt.Sprintf("seed %d: %v", e.Seed, e.Err) }
+
+// Unwrap exposes the underlying pipeline error to errors.Is/As.
+func (e SeedError) Unwrap() error { return e.Err }
+
+// AllSeedsFailedError aggregates the per-seed errors of a CompileBest run
+// in which no restart produced a result. Seeds holds one entry per seed
+// in the original seed order.
+type AllSeedsFailedError struct {
+	Seeds []SeedError
+}
+
+func (e *AllSeedsFailedError) Error() string {
+	msgs := make([]string, len(e.Seeds))
+	for i, s := range e.Seeds {
+		msgs[i] = s.Error()
+	}
+	return fmt.Sprintf("compress: all %d seeds failed: %s", len(e.Seeds), strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes every per-seed error to errors.Is/As (so a caller can
+// still detect, say, context.DeadlineExceeded behind the aggregation).
+func (e *AllSeedsFailedError) Unwrap() []error {
+	errs := make([]error, len(e.Seeds))
+	for i, s := range e.Seeds {
+		errs[i] = s
+	}
+	return errs
+}
 
 // CompileBest runs the pipeline once per seed, in parallel, and returns
 // the result with the smallest final volume (ties broken by the earliest
@@ -18,50 +58,47 @@ import (
 // compaction.
 //
 // parallel bounds the number of concurrent runs; 0 selects GOMAXPROCS.
+//
+// Failed seeds do not sink the compile as long as at least one seed
+// succeeds: the best surviving result is returned with Result.SeedsTried
+// and Result.SeedErrors recording the partial failures. When every seed
+// fails the returned error is an *AllSeedsFailedError aggregating the
+// per-seed causes.
 func CompileBest(c *circuit.Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("compress: no seeds")
-	}
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
-	type outcome struct {
-		idx int
-		res *Result
-		err error
-	}
-	results := make([]outcome, len(seeds))
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for i, seed := range seeds {
-		wg.Add(1)
-		go func(i int, seed int64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			runOpt := opt
-			runOpt.Seed = seed
-			res, err := Compile(c, runOpt)
-			results[i] = outcome{idx: i, res: res, err: err}
-		}(i, seed)
-	}
-	wg.Wait()
-	var best *Result
-	for _, o := range results {
-		if o.err != nil {
-			return nil, fmt.Errorf("compress: seed %d: %w", seeds[o.idx], o.err)
-		}
-		if best == nil || o.res.Volume < best.Volume {
-			best = o.res
-		}
-	}
-	return best, nil
+	return CompileBestContext(context.Background(), c, opt, seeds, parallel)
+}
+
+// CompileBestContext is CompileBest under a context: cancellation stops
+// every in-flight seed at its next iteration boundary and the context's
+// error is returned directly (not wrapped in an aggregate).
+func CompileBestContext(ctx context.Context, c *circuit.Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
+	return bestOf(ctx, seeds, parallel, func(ctx context.Context, seed int64) (*Result, error) {
+		runOpt := opt
+		runOpt.Seed = seed
+		return CompileContext(ctx, c, runOpt)
+	})
 }
 
 // CompileBestICM is CompileBest over a pre-built ICM representation. The
 // representation is read-only across the pipeline, so the runs may share
 // it.
 func CompileBestICM(rep *icm.Rep, name string, opt Options, seeds []int64, parallel int) (*Result, error) {
+	return CompileBestICMContext(context.Background(), rep, name, opt, seeds, parallel)
+}
+
+// CompileBestICMContext is CompileBestICM with cancellation support (see
+// CompileBestContext).
+func CompileBestICMContext(ctx context.Context, rep *icm.Rep, name string, opt Options, seeds []int64, parallel int) (*Result, error) {
+	return bestOf(ctx, seeds, parallel, func(ctx context.Context, seed int64) (*Result, error) {
+		runOpt := opt
+		runOpt.Seed = seed
+		return CompileICMContext(ctx, rep, name, runOpt, time.Time{}, nil)
+	})
+}
+
+// bestOf fans one compile per seed across a bounded worker set and picks
+// the smallest-volume success.
+func bestOf(ctx context.Context, seeds []int64, parallel int, run func(context.Context, int64) (*Result, error)) (*Result, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("compress: no seeds")
 	}
@@ -81,21 +118,32 @@ func CompileBestICM(rep *icm.Rep, name string, opt Options, seeds []int64, paral
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			runOpt := opt
-			runOpt.Seed = seed
-			res, err := CompileICM(rep, name, runOpt, time.Time{}, nil)
+			res, err := run(ctx, seed)
 			results[i] = outcome{res: res, err: err}
 		}(i, seed)
 	}
 	wg.Wait()
 	var best *Result
+	var failed []SeedError
 	for i, o := range results {
 		if o.err != nil {
-			return nil, fmt.Errorf("compress: seed %d: %w", seeds[i], o.err)
+			failed = append(failed, SeedError{Seed: seeds[i], Err: o.err})
+			continue
 		}
 		if best == nil || o.res.Volume < best.Volume {
 			best = o.res
 		}
 	}
+	if best == nil {
+		// Cancellation surfaces as-is: the per-seed errors would all just
+		// restate ctx's error with less precision.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("compress: %w", err)
+		}
+		return nil, &AllSeedsFailedError{Seeds: failed}
+	}
+	sort.Slice(failed, func(a, b int) bool { return failed[a].Seed < failed[b].Seed })
+	best.SeedsTried = len(seeds)
+	best.SeedErrors = failed
 	return best, nil
 }

@@ -1,6 +1,10 @@
 package compress
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"tqec/internal/icm"
@@ -46,6 +50,86 @@ func TestCompileBestRejectsEmptySeeds(t *testing.T) {
 	}
 	if _, err := CompileBestICM(nil, "x", Options{}, nil, 0); err == nil {
 		t.Fatal("empty seed list accepted (ICM)")
+	}
+}
+
+func TestCompileBestAggregatesAllSeedFailures(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := bestOf(context.Background(), []int64{7, 8}, 2, func(context.Context, int64) (*Result, error) {
+		return nil, boom
+	})
+	var agg *AllSeedsFailedError
+	if !errors.As(err, &agg) {
+		t.Fatalf("error = %v, want *AllSeedsFailedError", err)
+	}
+	if len(agg.Seeds) != 2 {
+		t.Fatalf("aggregated %d seed errors, want 2", len(agg.Seeds))
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("aggregate error hides the underlying cause from errors.Is")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "seed 7") || !strings.Contains(msg, "seed 8") {
+		t.Fatalf("aggregate message does not name the seeds: %q", msg)
+	}
+}
+
+func TestCompileBestSurvivesPartialSeedFailure(t *testing.T) {
+	c := threeCNOT(t)
+	fail := errors.New("synthetic seed failure")
+	best, err := bestOf(context.Background(), []int64{1, 2, 3}, 1, func(ctx context.Context, seed int64) (*Result, error) {
+		if seed == 2 {
+			return nil, fmt.Errorf("injected: %w", fail)
+		}
+		runOpt := Options{Mode: Full, Seed: seed}
+		return CompileContext(ctx, c, runOpt)
+	})
+	if err != nil {
+		t.Fatalf("partial failure sank the compile: %v", err)
+	}
+	if best.SeedsTried != 3 {
+		t.Fatalf("SeedsTried = %d, want 3", best.SeedsTried)
+	}
+	if len(best.SeedErrors) != 1 || best.SeedErrors[0].Seed != 2 {
+		t.Fatalf("SeedErrors = %v, want exactly seed 2", best.SeedErrors)
+	}
+	if !errors.Is(best.SeedErrors[0], fail) {
+		t.Fatal("per-seed error lost its cause")
+	}
+	rep := best.Report()
+	if rep.SeedsTried != 3 || rep.SeedsFailed != 1 || len(rep.SeedErrors) != 1 {
+		t.Fatalf("report seed accounting = %d/%d/%v", rep.SeedsTried, rep.SeedsFailed, rep.SeedErrors)
+	}
+}
+
+func TestCompileContextCancelled(t *testing.T) {
+	c := threeCNOT(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileContext(ctx, c, Options{Mode: Full}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if _, err := CompileBestContext(ctx, c, Options{Mode: Full}, []int64{1, 2}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompileBest error = %v, want context.Canceled", err)
+	}
+}
+
+func TestCompileRecordsStageTimes(t *testing.T) {
+	c := threeCNOT(t)
+	res, err := Compile(c, Options{Mode: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"pdgraph", "simplify", "primal-bridge", "dual-bridge", "place", "route"}
+	if len(res.StageTimes) != len(want) {
+		t.Fatalf("stage times = %v, want stages %v", res.StageTimes, want)
+	}
+	for i, st := range res.StageTimes {
+		if st.Stage != want[i] {
+			t.Fatalf("stage[%d] = %q, want %q", i, st.Stage, want[i])
+		}
+		if st.Duration < 0 {
+			t.Fatalf("stage %s has negative duration", st.Stage)
+		}
 	}
 }
 

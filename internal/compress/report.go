@@ -24,6 +24,10 @@ type Report struct {
 	RouteSqueezed        int     `json:"route_squeezed"`
 	Seconds              float64 `json:"seconds"`
 	ReductionVsCanonical float64 `json:"reduction_vs_canonical"`
+	// Seed-restart accounting (CompileBest only; zero for single compiles).
+	SeedsTried  int      `json:"seeds_tried,omitempty"`
+	SeedsFailed int      `json:"seeds_failed,omitempty"`
+	SeedErrors  []string `json:"seed_errors,omitempty"`
 }
 
 // Report builds the serializable record of the result.
@@ -49,6 +53,11 @@ func (r *Result) Report() Report {
 	}
 	if r.Volume > 0 {
 		rep.ReductionVsCanonical = float64(r.CanonicalVolume) / float64(r.Volume)
+	}
+	rep.SeedsTried = r.SeedsTried
+	rep.SeedsFailed = len(r.SeedErrors)
+	for _, se := range r.SeedErrors {
+		rep.SeedErrors = append(rep.SeedErrors, se.Error())
 	}
 	return rep
 }

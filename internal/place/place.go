@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -390,6 +391,13 @@ func (p *problem) Restore(snap any) {
 
 // Run executes the placement stage.
 func Run(in *Input, opt Options) (*Result, error) {
+	return RunContext(context.Background(), in, opt)
+}
+
+// RunContext executes the placement stage under a context: the annealer
+// polls ctx at move-batch boundaries and the stage returns ctx's error
+// (with no result) when it is cancelled or times out mid-anneal.
+func RunContext(ctx context.Context, in *Input, opt Options) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -397,11 +405,15 @@ func Run(in *Input, opt Options) (*Result, error) {
 	p := newProblem(in, opt)
 	var sa anneal.Result
 	if len(in.Items) > 1 {
-		sa = anneal.Run(p, anneal.Options{
+		var err error
+		sa, err = anneal.RunContext(ctx, p, anneal.Options{
 			Seed:         opt.Seed,
 			MaxMoves:     opt.MaxMoves,
 			MovesPerTemp: opt.MovesPerTemp,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("place: %w", err)
+		}
 	}
 	pos := append([]Placed(nil), p.itemPositions()...)
 	nx, ny, nz := p.dims()

@@ -8,6 +8,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 )
@@ -159,6 +160,15 @@ type Result struct {
 
 // Route runs the negotiated router over all nets.
 func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
+	return RouteContext(context.Background(), g, nets, opt)
+}
+
+// RouteContext runs the negotiated router under a context. Cancellation
+// is polled at every negotiation round and before each net's rip-up and
+// reroute inside a round, so a timed-out or cancelled compile stops at
+// the next net boundary instead of finishing the remaining rounds; the
+// partial routing state is discarded and ctx's error returned.
+func RouteContext(ctx context.Context, g *Grid, nets []Net, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	for _, n := range nets {
 		for _, p := range n.Pins {
@@ -185,6 +195,9 @@ func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
 	best := 1 << 30
 	stall := 0
 	for iter := 0; iter < 8*opt.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: %w", err)
+		}
 		if iter >= opt.MaxIters && stall >= 3 {
 			break
 		}
@@ -209,6 +222,9 @@ func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
 			}
 		}
 		for _, oi := range toRoute {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("route: %w", err)
+			}
 			n := nets[oi]
 			if old, ok := routed[n.ID]; ok {
 				g.release(old)

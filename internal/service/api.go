@@ -1,0 +1,319 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"tqec/internal/bench"
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+	"tqec/internal/revlib"
+)
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// Name labels the job in statuses, results, and logs; defaults to the
+	// circuit's own name.
+	Name    string     `json:"name,omitempty"`
+	Source  Source     `json:"source"`
+	Options OptionSpec `json:"options"`
+	// TimeoutMS bounds the compile wall-clock (clamped to the server
+	// maximum; 0 selects the server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache skips both cache lookup and insertion for this job.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Source selects exactly one circuit input.
+type Source struct {
+	// Real is an inline RevLib .real circuit.
+	Real string `json:"real,omitempty"`
+	// Text is an inline plain-text gate list.
+	Text string `json:"text,omitempty"`
+	// Sample names an embedded sample (threecnot, toffoli3, mixed4).
+	Sample string `json:"sample,omitempty"`
+	// Bench names a synthetic Table-1 benchmark; GenSeed seeds its
+	// generator (default 1).
+	Bench   string `json:"bench,omitempty"`
+	GenSeed int64  `json:"gen_seed,omitempty"`
+}
+
+// OptionSpec is the JSON form of compress.Options plus the seed set.
+type OptionSpec struct {
+	Mode                  string  `json:"mode,omitempty"`   // full | dual | deform (default full)
+	Effort                string  `json:"effort,omitempty"` // fast | normal | high (default fast)
+	Seeds                 []int64 `json:"seeds,omitempty"`  // SA restart seeds (default [1])
+	Parallel              int     `json:"parallel,omitempty"`
+	SkipRouting           bool    `json:"skip_routing,omitempty"`
+	MeasurementSideIShape bool    `json:"measurement_side_ishape,omitempty"`
+	NoCompaction          bool    `json:"no_compaction,omitempty"`
+	PrimalRestarts        int     `json:"primal_restarts,omitempty"`
+	// DRC attaches the design-rule-check report to the result payload.
+	DRC bool `json:"drc,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} (and submit) response.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	State    State   `json:"state"`
+	Cached   bool    `json:"cached,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	CacheKey string  `json:"cache_key"`
+	QueueMS  float64 `json:"queue_ms,omitempty"`
+	RunMS    float64 `json:"run_ms,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	c, err := loadSource(req.Source)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	opt, seeds, err := req.Options.resolve()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = c.Name
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	key, err := CacheKey(c, opt, seeds)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	j := s.newJob(name, key, c, opt, seeds, req.Options.Parallel, timeout, req.NoCache)
+	s.metrics.jobsSubmitted.Inc()
+
+	// Content-addressed fast path: an identical compile already ran, so
+	// the job completes instantly with the cached payload (re-labelled
+	// with this submission's name).
+	if !req.NoCache {
+		if p, ok := s.cache.Get(key); ok {
+			s.mu.Lock()
+			pp := *p
+			pp.Name = name
+			pp.Report.Name = name
+			j.payload = &pp
+			j.cached = true
+			j.state = StateDone
+			j.started = j.submitted
+			j.finished = time.Now()
+			s.mu.Unlock()
+			s.metrics.jobsDone.Inc()
+			s.logf(j, "event=done cached=true")
+			writeJSON(w, http.StatusOK, s.status(j))
+			return
+		}
+	}
+
+	if !s.enqueue(j) {
+		s.mu.Lock()
+		j.state = StateFailed
+		j.errMsg = "queue full or service draining"
+		j.finished = time.Now()
+		s.mu.Unlock()
+		s.metrics.jobsRejected.Inc()
+		s.logf(j, "event=rejected")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "queue full or service draining"})
+		return
+	}
+	s.logf(j, "event=submitted key=%.12s timeout=%s", j.Key, timeout)
+	writeJSON(w, http.StatusAccepted, s.status(j))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	s.mu.Lock()
+	state, errMsg, payload := j.state, j.errMsg, j.payload
+	s.mu.Unlock()
+	if state != StateDone {
+		msg := fmt.Sprintf("job is %s, no result", state)
+		if errMsg != "" {
+			msg += ": " + errMsg
+		}
+		writeJSON(w, http.StatusConflict, errorResponse{Error: msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	if st, ok := s.cancelJob(j); !ok {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error: fmt.Sprintf("job already %s", st),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(len(s.queue), s.cache.Len()))
+}
+
+// status renders a job under the server lock.
+func (s *Server) status(j *Job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		ID:       j.ID,
+		Name:     j.Name,
+		State:    j.state,
+		Cached:   j.cached,
+		Error:    j.errMsg,
+		CacheKey: j.Key,
+	}
+	if !j.started.IsZero() {
+		st.QueueMS = ms(j.started.Sub(j.submitted))
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = ms(end.Sub(j.started))
+	}
+	return st
+}
+
+// loadSource materializes the submitted circuit.
+func loadSource(src Source) (*circuit.Circuit, error) {
+	set := 0
+	for _, has := range []bool{src.Real != "", src.Text != "", src.Sample != "", src.Bench != ""} {
+		if has {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("source: need exactly one of real, text, sample, bench (got %d)", set)
+	}
+	switch {
+	case src.Real != "":
+		return revlib.ParseString(src.Real)
+	case src.Text != "":
+		return circuit.ParseText(strings.NewReader(src.Text))
+	case src.Sample != "":
+		body, ok := revlib.Samples[src.Sample]
+		if !ok {
+			return nil, fmt.Errorf("source: unknown sample %q", src.Sample)
+		}
+		return revlib.ParseString(body)
+	default:
+		spec, ok := bench.ByName(src.Bench)
+		if !ok {
+			return nil, fmt.Errorf("source: unknown benchmark %q", src.Bench)
+		}
+		genSeed := src.GenSeed
+		if genSeed == 0 {
+			genSeed = 1
+		}
+		return spec.Generate(genSeed)
+	}
+}
+
+// resolve converts the wire options into pipeline options and a seed set.
+func (o OptionSpec) resolve() (compress.Options, []int64, error) {
+	opt := compress.Options{
+		MeasurementSideIShape: o.MeasurementSideIShape,
+		SkipRouting:           o.SkipRouting,
+		NoCompaction:          o.NoCompaction,
+		PrimalRestarts:        o.PrimalRestarts,
+		DRC:                   o.DRC,
+	}
+	switch o.Mode {
+	case "", "full":
+		opt.Mode = compress.Full
+	case "dual":
+		opt.Mode = compress.DualOnly
+	case "deform":
+		opt.Mode = compress.DeformOnly
+	default:
+		return opt, nil, fmt.Errorf("options: unknown mode %q", o.Mode)
+	}
+	switch o.Effort {
+	case "", "fast":
+		opt.Effort = compress.EffortFast
+	case "normal":
+		opt.Effort = compress.EffortNormal
+	case "high":
+		opt.Effort = compress.EffortHigh
+	default:
+		return opt, nil, fmt.Errorf("options: unknown effort %q", o.Effort)
+	}
+	seeds := o.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	return opt, seeds, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

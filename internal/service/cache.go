@@ -1,0 +1,122 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+)
+
+// CacheKey content-addresses one compile: the SHA-256 of the normalized
+// circuit text plus a canonical encoding of every Options field that can
+// change the result, plus the seed set. Two submissions with the same key
+// are guaranteed to produce byte-identical result payloads (the pipeline
+// is deterministic for a fixed seed list), so the second can be answered
+// from the cache without running anything.
+//
+// Normalization: the circuit is serialized in the canonical plain-text
+// gate-list form (one gate per line, controls then target), which erases
+// source-format differences (.real vs text vs generated benchmark) and
+// whitespace/comment noise. The circuit name is deliberately excluded —
+// renaming a workload must not defeat the cache; the payload's Name field
+// comes from the submission, not the cache.
+func CacheKey(c *circuit.Circuit, opt compress.Options, seeds []int64) (string, error) {
+	var sb strings.Builder
+	// Name-independent normalization: serialize a renamed shallow copy.
+	norm := *c
+	norm.Name = ""
+	if err := circuit.WriteText(&sb, &norm); err != nil {
+		return "", fmt.Errorf("service: normalize circuit: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(sb.String()))
+	// Options.Seed is overridden per seed by CompileBest; everything else
+	// that steers the pipeline goes into the key. KeepGeometry is excluded:
+	// it only materializes a visualization artifact the service never
+	// returns.
+	fmt.Fprintf(h, "|mode=%d|effort=%d|ms=%t|skip=%t|nocomp=%t|restarts=%d|drc=%t|seeds=",
+		opt.Mode, opt.Effort, opt.MeasurementSideIShape, opt.SkipRouting,
+		opt.NoCompaction, opt.PrimalRestarts, opt.DRC)
+	for _, s := range seeds {
+		fmt.Fprintf(h, "%d,", s)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// resultCache is a bounded LRU over finished result payloads, keyed by
+// CacheKey. It stores the serializable payload rather than the full
+// *compress.Result so a cache entry's footprint is a few kilobytes, not
+// the whole artifact bundle.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits, misses, evictions *counter
+}
+
+type cacheEntry struct {
+	key     string
+	payload *ResultPayload
+}
+
+func newResultCache(max int, m *metrics) *resultCache {
+	return &resultCache{
+		max:       max,
+		order:     list.New(),
+		entries:   map[string]*list.Element{},
+		hits:      &m.cacheHits,
+		misses:    &m.cacheMisses,
+		evictions: &m.cacheEvictions,
+	}
+}
+
+// Get returns the cached payload for key, promoting it to most recently
+// used, and records the hit or miss.
+func (rc *resultCache) Get(key string) (*ResultPayload, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.entries[key]
+	if !ok {
+		rc.misses.Inc()
+		return nil, false
+	}
+	rc.order.MoveToFront(el)
+	rc.hits.Inc()
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// Put inserts (or refreshes) a payload and evicts the least recently used
+// entries beyond the bound.
+func (rc *resultCache) Put(key string, p *ResultPayload) {
+	if rc.max <= 0 {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.entries[key]; ok {
+		el.Value.(*cacheEntry).payload = p
+		rc.order.MoveToFront(el)
+		return
+	}
+	rc.entries[key] = rc.order.PushFront(&cacheEntry{key: key, payload: p})
+	for rc.order.Len() > rc.max {
+		last := rc.order.Back()
+		rc.order.Remove(last)
+		delete(rc.entries, last.Value.(*cacheEntry).key)
+		rc.evictions.Inc()
+	}
+}
+
+// Len returns the number of cached entries.
+func (rc *resultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.order.Len()
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+	"tqec/internal/revlib"
+)
+
+func threecnot(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := revlib.ParseString(revlib.Samples["threecnot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheKeyDeterministic(t *testing.T) {
+	c := threecnot(t)
+	opt := compress.Options{Mode: compress.Full, Effort: compress.EffortNormal}
+	a, err := CacheKey(c, opt, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CacheKey(c, opt, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same inputs, different keys: %s vs %s", a, b)
+	}
+}
+
+func TestCacheKeyNormalizesSourceFormat(t *testing.T) {
+	// The same gates reach the service as .real and as plain text; the
+	// content address must not see the difference — or the circuit name.
+	real := threecnot(t)
+	var sb strings.Builder
+	if err := circuit.WriteText(&sb, real); err != nil {
+		t.Fatal(err)
+	}
+	text, err := circuit.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text.Name = "renamed-workload"
+	opt := compress.Options{Mode: compress.Full}
+	a, err := CacheKey(real, opt, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CacheKey(text, opt, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("format/name changed the key: %s vs %s", a, b)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	c := threecnot(t)
+	base, err := CacheKey(c, compress.Options{Mode: compress.Full}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name  string
+		opt   compress.Options
+		seeds []int64
+	}{
+		{"mode", compress.Options{Mode: compress.DualOnly}, []int64{1}},
+		{"effort", compress.Options{Mode: compress.Full, Effort: compress.EffortHigh}, []int64{1}},
+		{"seeds", compress.Options{Mode: compress.Full}, []int64{1, 2}},
+		{"skip-routing", compress.Options{Mode: compress.Full, SkipRouting: true}, []int64{1}},
+		{"drc", compress.Options{Mode: compress.Full, DRC: true}, []int64{1}},
+		{"restarts", compress.Options{Mode: compress.Full, PrimalRestarts: 3}, []int64{1}},
+	}
+	for _, v := range variants {
+		k, err := CacheKey(c, v.opt, v.seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == base {
+			t.Errorf("changing %s did not change the cache key", v.name)
+		}
+	}
+	// A different circuit must miss too.
+	other, err := revlib.ParseString(revlib.Samples["toffoli3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := CacheKey(other, compress.Options{Mode: compress.Full}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == base {
+		t.Error("different circuit produced the same cache key")
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	m := newMetrics()
+	rc := newResultCache(2, m)
+	pay := func(i int) *ResultPayload { return &ResultPayload{Name: fmt.Sprintf("p%d", i)} }
+
+	rc.Put("a", pay(1))
+	rc.Put("b", pay(2))
+	if _, ok := rc.Get("a"); !ok { // promotes "a" to most recent
+		t.Fatal("a missing before eviction")
+	}
+	rc.Put("c", pay(3)) // evicts "b", the least recently used
+	if _, ok := rc.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order not respected")
+	}
+	if _, ok := rc.Get("a"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := rc.Get("c"); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if got := m.cacheEvictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if rc.Len() != 2 {
+		t.Fatalf("len = %d, want 2", rc.Len())
+	}
+}
+
+func TestResultCacheRefreshKeepsSingleEntry(t *testing.T) {
+	m := newMetrics()
+	rc := newResultCache(2, m)
+	rc.Put("a", &ResultPayload{Name: "old"})
+	rc.Put("a", &ResultPayload{Name: "new"})
+	if rc.Len() != 1 {
+		t.Fatalf("len = %d, want 1 after refresh", rc.Len())
+	}
+	p, ok := rc.Get("a")
+	if !ok || p.Name != "new" {
+		t.Fatalf("got %+v, want refreshed payload", p)
+	}
+}

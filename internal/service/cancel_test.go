@@ -1,0 +1,95 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// slowBody is a compile that runs for tens of seconds at high effort
+// (rd84_142 anneals ~930 placement items under a 120k-move budget), so a
+// cancellation mid-flight exercises the context checks in the hot loops.
+const slowBody = `{"source":{"bench":"rd84_142"},"options":{"effort":"high","skip_routing":true},"no_cache":true}`
+
+func TestCancelRunningJobStopsPromptly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long compile; skipped in -short")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, code := postJob(t, ts, slowBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: http %d", code)
+	}
+
+	// Wait until the compile is actually running and give it a moment to
+	// enter the annealing loop.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var cur JobStatus
+		getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &cur)
+		if cur.State == StateRunning {
+			break
+		}
+		if cur.State.terminal() {
+			t.Fatalf("job finished before cancel: %s (%s)", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (state %s)", cur.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	cancelAt := time.Now()
+	if code, body := del(t, ts.URL+"/v1/jobs/"+st.ID); code != http.StatusOK {
+		t.Fatalf("cancel: http %d (%s)", code, body)
+	}
+	final := waitState(t, ts, st.ID, 10*time.Second)
+	latency := time.Since(cancelAt)
+	if final.State != StateCanceled {
+		t.Fatalf("state = %s (err %q), want canceled", final.State, final.Error)
+	}
+	// The annealer polls ctx every 64 moves and the router at every net
+	// boundary, so cancellation should land within milliseconds; allow a
+	// wide margin for loaded CI machines.
+	if latency > 3*time.Second {
+		t.Fatalf("cancellation took %s; hot loops are not observing ctx", latency)
+	}
+	t.Logf("cancel latency: %s", latency)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long compile; skipped in -short")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+	slow, _ := postJob(t, ts, slowBody)
+	queued, _ := postJob(t, ts, `{"source":{"sample":"threecnot"},"no_cache":true}`)
+
+	if code, body := del(t, ts.URL+"/v1/jobs/"+queued.ID); code != http.StatusOK {
+		t.Fatalf("cancel queued: http %d (%s)", code, body)
+	}
+	st := waitState(t, ts, queued.ID, 5*time.Second)
+	if st.State != StateCanceled {
+		t.Fatalf("queued job state = %s, want canceled", st.State)
+	}
+	del(t, ts.URL+"/v1/jobs/"+slow.ID)
+}
+
+func TestJobDeadlineFailsCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long compile; skipped in -short")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, code := postJob(t, ts, `{"source":{"bench":"rd84_142"},"options":{"effort":"high","skip_routing":true},"timeout_ms":500,"no_cache":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: http %d", code)
+	}
+	final := waitState(t, ts, st.ID, 30*time.Second)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want failed on deadline", final.State)
+	}
+	if final.Error == "" {
+		t.Fatal("deadline failure carries no error message")
+	}
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counter is a monotonically increasing metric.
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) Add(n int64) { c.v.Add(n) }
+func (c *counter) Inc()        { c.v.Add(1) }
+func (c *counter) Value() int64 {
+	return c.v.Load()
+}
+
+// histBounds are the shared latency bucket upper bounds, in milliseconds.
+// The last bucket is implicit +Inf.
+var histBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// histogram is a fixed-bucket latency histogram (milliseconds).
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // len(histBounds)+1; last bucket is +Inf
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(histBounds, ms)
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(histBounds)+1)
+	}
+	h.counts[i]++
+	h.sum += ms
+	h.n++
+	h.mu.Unlock()
+}
+
+// histSnapshot is the JSON form of a histogram.
+type histSnapshot struct {
+	Count   int64            `json:"count"`
+	SumMS   float64          `json:"sum_ms"`
+	MeanMS  float64          `json:"mean_ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := histSnapshot{Count: h.n, SumMS: h.sum, Buckets: map[string]int64{}}
+	if h.n > 0 {
+		s.MeanMS = h.sum / float64(h.n)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(histBounds) {
+			s.Buckets[formatBound(histBounds[i])] = c
+		} else {
+			s.Buckets["+Inf"] = c
+		}
+	}
+	return s
+}
+
+// metrics is the service-wide observability surface, rendered as JSON by
+// the /metrics endpoint (stdlib-only, expvar-style).
+type metrics struct {
+	jobsSubmitted counter
+	jobsRejected  counter // queue full
+	jobsQueued    atomic.Int64
+	jobsRunning   atomic.Int64
+	jobsDone      counter
+	jobsFailed    counter
+	jobsCanceled  counter
+
+	cacheHits      counter
+	cacheMisses    counter
+	cacheEvictions counter
+
+	queueWait histogram             // submit → worker pickup
+	compile   histogram             // whole pipeline, per job
+	stageMu   sync.Mutex            // guards stages
+	stages    map[string]*histogram // per-pipeline-stage wall-clock
+}
+
+func newMetrics() *metrics {
+	return &metrics{stages: map[string]*histogram{}}
+}
+
+func (m *metrics) observeStage(name string, d time.Duration) {
+	m.stageMu.Lock()
+	h, ok := m.stages[name]
+	if !ok {
+		h = &histogram{}
+		m.stages[name] = h
+	}
+	m.stageMu.Unlock()
+	h.Observe(d)
+}
+
+// metricsSnapshot is the /metrics JSON document.
+type metricsSnapshot struct {
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Rejected  int64 `json:"rejected"`
+		Queued    int64 `json:"queued"`
+		Running   int64 `json:"running"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Evictions int64   `json:"evictions"`
+		Entries   int     `json:"entries"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+	QueueDepth int                     `json:"queue_depth"`
+	QueueWait  histSnapshot            `json:"queue_wait_ms"`
+	Compile    histSnapshot            `json:"compile_ms"`
+	Stages     map[string]histSnapshot `json:"stage_ms"`
+}
+
+func (m *metrics) snapshot(queueDepth, cacheEntries int) metricsSnapshot {
+	var s metricsSnapshot
+	s.Jobs.Submitted = m.jobsSubmitted.Value()
+	s.Jobs.Rejected = m.jobsRejected.Value()
+	s.Jobs.Queued = m.jobsQueued.Load()
+	s.Jobs.Running = m.jobsRunning.Load()
+	s.Jobs.Done = m.jobsDone.Value()
+	s.Jobs.Failed = m.jobsFailed.Value()
+	s.Jobs.Canceled = m.jobsCanceled.Value()
+	s.Cache.Hits = m.cacheHits.Value()
+	s.Cache.Misses = m.cacheMisses.Value()
+	s.Cache.Evictions = m.cacheEvictions.Value()
+	s.Cache.Entries = cacheEntries
+	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
+		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
+	}
+	s.QueueDepth = queueDepth
+	s.QueueWait = m.queueWait.snapshot()
+	s.Compile = m.compile.snapshot()
+	s.Stages = map[string]histSnapshot{}
+	m.stageMu.Lock()
+	names := make([]string, 0, len(m.stages))
+	for n := range m.stages {
+		names = append(names, n)
+	}
+	m.stageMu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		m.stageMu.Lock()
+		h := m.stages[n]
+		m.stageMu.Unlock()
+		s.Stages[n] = h.snapshot()
+	}
+	return s
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

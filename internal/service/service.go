@@ -1,0 +1,374 @@
+// Package service implements tqecd, the long-lived TQEC compilation
+// daemon: an HTTP/JSON job service that runs the compression pipeline on
+// a bounded worker pool, answers repeated compiles of identical workloads
+// from a content-addressed result cache, and supports per-job deadlines
+// and cancellation by plumbing context.Context into the pipeline's
+// annealing and routing hot loops.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a compile (may complete instantly on cache hit)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result result payload (409 until the job is done)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             JSON counters, cache stats, latency histograms
+//
+// Everything is stdlib-only and deterministic for a fixed seed list: the
+// same submission always produces the same result payload, which is what
+// makes content-addressed caching sound.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+	"tqec/internal/drc"
+)
+
+// Config tunes the service. Zero values select defaults.
+type Config struct {
+	// Workers bounds concurrent compiles (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting jobs; submits beyond it are rejected with
+	// 503 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that do not set one (default 5m).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps requested deadlines (default 30m).
+	MaxTimeout time.Duration
+	// Logger receives structured per-job log lines (default stderr).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "tqecd ", log.LstdFlags|log.Lmicroseconds)
+	}
+	return c
+}
+
+// State is a job's lifecycle stage.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one tracked compilation. All mutable fields are guarded by the
+// server mutex; the immutable inputs are set at submission.
+type Job struct {
+	ID   string
+	Name string
+	Key  string // cache key
+
+	circ     *circuit.Circuit
+	opt      compress.Options
+	seeds    []int64
+	parallel int
+	timeout  time.Duration
+	noCache  bool
+
+	state           State
+	cached          bool
+	errMsg          string
+	cancelRequested bool
+	cancel          context.CancelFunc
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	payload         *ResultPayload
+}
+
+// ResultPayload is the serialized outcome of a finished job — and the
+// unit the result cache stores. It carries the compact report, not the
+// full artifact bundle, so cached entries stay small.
+type ResultPayload struct {
+	Name     string          `json:"name"`
+	CacheKey string          `json:"cache_key"`
+	Report   compress.Report `json:"report"`
+	DRC      *drc.Report     `json:"drc,omitempty"`
+	Summary  string          `json:"summary"`
+}
+
+// Server is the compile service. Create with New, mount via Handler, and
+// stop with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *resultCache
+	mux     *http.ServeMux
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	nextID   int
+	draining bool
+	closed   bool
+	queue    chan *Job
+	workers  sync.WaitGroup
+}
+
+// New starts the worker pool and returns the service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := newMetrics()
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		cache:   newResultCache(cfg.CacheEntries, m),
+		jobs:    map[string]*Job{},
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	s.mux = s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the service: new submissions are rejected, queued and
+// running jobs are allowed to finish, and the call returns when every
+// worker has exited. If ctx expires first, in-flight compiles are
+// cancelled (they stop at their next iteration boundary) and the drain
+// completes with ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels everything in flight and waits for the workers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.rootCancel()
+	s.workers.Wait()
+}
+
+// newJob registers a job in the queued state. Callers hold no locks.
+func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int, timeout time.Duration, noCache bool) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", s.nextID),
+		Name:      name,
+		Key:       key,
+		circ:      c,
+		opt:       opt,
+		seeds:     seeds,
+		parallel:  parallel,
+		timeout:   timeout,
+		noCache:   noCache,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// enqueue pushes a registered job onto the bounded queue. It returns
+// false when the service is draining or the queue is full; the job is
+// then marked failed-rejected and the submit endpoint reports 503.
+func (s *Server) enqueue(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.jobsQueued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// worker runs queued jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end and records its outcome.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	s.metrics.jobsQueued.Add(-1)
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithTimeout(s.rootCtx, j.timeout)
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+	s.metrics.queueWait.Observe(j.started.Sub(j.submitted))
+	s.logf(j, "event=start seeds=%d effort=%d mode=%s timeout=%s",
+		len(j.seeds), j.opt.Effort, j.opt.Mode, j.timeout)
+
+	res, err := compress.CompileBestContext(ctx, j.circ, j.opt, j.seeds, j.parallel)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	j.cancel = nil
+	runDur := j.finished.Sub(j.started)
+	switch {
+	case err != nil && j.cancelRequested && errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+		s.metrics.jobsCanceled.Inc()
+		s.logf(j, "event=canceled run_ms=%.1f", ms(runDur))
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.metrics.jobsFailed.Inc()
+		s.logf(j, "event=failed run_ms=%.1f err=%q", ms(runDur), j.errMsg)
+	default:
+		j.state = StateDone
+		j.payload = s.buildPayload(j, res)
+		if !j.noCache {
+			s.cache.Put(j.Key, j.payload)
+		}
+		s.metrics.jobsDone.Inc()
+		s.metrics.compile.Observe(runDur)
+		for _, st := range res.StageTimes {
+			s.metrics.observeStage(st.Stage, st.Duration)
+		}
+		s.logf(j, "event=done run_ms=%.1f volume=%d placed=%d seeds_failed=%d",
+			ms(runDur), res.Volume, res.PlacedVolume, len(res.SeedErrors))
+	}
+}
+
+// buildPayload serializes a finished compile.
+func (s *Server) buildPayload(j *Job, res *compress.Result) *ResultPayload {
+	rep := res.Report()
+	rep.Name = j.Name
+	return &ResultPayload{
+		Name:     j.Name,
+		CacheKey: j.Key,
+		Report:   rep,
+		DRC:      res.DRC,
+		Summary:  res.Summary(),
+	}
+}
+
+// cancelJob requests cancellation. The returned state is the job's state
+// after the request; ok is false when the job was already terminal.
+func (s *Server) cancelJob(j *Job) (State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		// The worker will observe the state change and skip the job.
+		j.state = StateCanceled
+		j.cancelRequested = true
+		j.errMsg = "canceled"
+		j.finished = time.Now()
+		s.metrics.jobsCanceled.Inc()
+		s.logf(j, "event=canceled while=queued")
+		return StateCanceled, true
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		s.logf(j, "event=cancel-requested while=running")
+		return StateRunning, true
+	default:
+		return j.state, false
+	}
+}
+
+// jobByID looks a job up.
+func (s *Server) jobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// logf emits one structured per-job log line.
+func (s *Server) logf(j *Job, format string, args ...any) {
+	s.cfg.Logger.Printf("job=%s name=%q %s", j.ID, j.Name, fmt.Sprintf(format, args...))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

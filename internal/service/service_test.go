@@ -1,0 +1,279 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// newTestServer spins up a quiet service plus an httptest frontend.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (JobStatus, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("submit response %q: %v", raw, err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func del(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(raw)
+}
+
+// waitState polls until the job reaches a terminal state or the deadline
+// passes, returning the last observed status.
+func waitState(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var st JobStatus
+	for time.Now().Before(deadline) {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status %s: http %d", id, code)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s still %s after %s", id, st.State, timeout)
+	return st
+}
+
+func TestSubmitCompileAndResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	st, code := postJob(t, ts, `{"source":{"sample":"threecnot"},"options":{"mode":"full","drc":true}}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: http %d", code)
+	}
+	st = waitState(t, ts, st.ID, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (err %q), want done", st.State, st.Error)
+	}
+
+	var payload ResultPayload
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/result", &payload); code != http.StatusOK {
+		t.Fatalf("result: http %d", code)
+	}
+	if payload.Report.PlacedVolume != 6 {
+		t.Fatalf("placed volume = %d, want 6 (paper Fig. 1(e))", payload.Report.PlacedVolume)
+	}
+	if payload.DRC == nil || !payload.DRC.Clean() {
+		t.Fatalf("expected a clean attached DRC report, got %+v", payload.DRC)
+	}
+	if payload.CacheKey == "" {
+		t.Fatal("payload missing cache key")
+	}
+}
+
+func TestCacheHitOnIdenticalSubmission(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"source":{"sample":"threecnot"},"options":{"mode":"full","seeds":[1,2]}}`
+
+	first, _ := postJob(t, ts, body)
+	firstDone := waitState(t, ts, first.ID, 30*time.Second)
+	if firstDone.State != StateDone {
+		t.Fatalf("first job: %s (%s)", firstDone.State, firstDone.Error)
+	}
+	if firstDone.Cached {
+		t.Fatal("first submission must not be a cache hit")
+	}
+
+	second, code := postJob(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("cached submit: http %d, want 200", code)
+	}
+	if !second.Cached || second.State != StateDone {
+		t.Fatalf("second submission: cached=%t state=%s, want instant cached done", second.Cached, second.State)
+	}
+	if second.CacheKey != first.CacheKey {
+		t.Fatalf("cache keys differ: %s vs %s", first.CacheKey, second.CacheKey)
+	}
+
+	var m metricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: http %d", code)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", m.Cache.Hits, m.Cache.Misses)
+	}
+	// One pipeline execution total: the compile histogram saw exactly one
+	// job even though two completed.
+	if m.Compile.Count != 1 {
+		t.Fatalf("compile histogram count = %d, want 1 (second job must not re-run)", m.Compile.Count)
+	}
+	if m.Jobs.Done != 2 {
+		t.Fatalf("jobs done = %d, want 2", m.Jobs.Done)
+	}
+	if len(m.Stages) == 0 {
+		t.Fatal("expected per-stage histograms after a compile")
+	}
+	_ = svc
+}
+
+func TestResultBeforeDoneConflicts(t *testing.T) {
+	// A single worker busy on a slow compile leaves the second job queued,
+	// so its result endpoint must 409.
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	slow, _ := postJob(t, ts, `{"source":{"bench":"rd84_142"},"options":{"effort":"high","skip_routing":true}}`)
+	queued, _ := postJob(t, ts, `{"source":{"sample":"toffoli3"}}`)
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+queued.ID+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("result of queued job: http %d, want 409", code)
+	}
+	// Drain: cancel both so cleanup is fast.
+	del(t, ts.URL+"/v1/jobs/"+queued.ID)
+	del(t, ts.URL+"/v1/jobs/"+slow.ID)
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if code := getJSON(t, ts.URL+"/v1/jobs/j999999", nil); code != http.StatusNotFound {
+		t.Fatalf("status: http %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/j999999/result", nil); code != http.StatusNotFound {
+		t.Fatalf("result: http %d, want 404", code)
+	}
+	if code, _ := del(t, ts.URL+"/v1/jobs/j999999"); code != http.StatusNotFound {
+		t.Fatalf("cancel: http %d, want 404", code)
+	}
+}
+
+func TestCancelFinishedJobConflicts(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, _ := postJob(t, ts, `{"source":{"sample":"threecnot"}}`)
+	st = waitState(t, ts, st.ID, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job: %s", st.State)
+	}
+	if code, body := del(t, ts.URL+"/v1/jobs/"+st.ID); code != http.StatusConflict {
+		t.Fatalf("cancel done job: http %d (%s), want 409", code, body)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []string{
+		`{"options":{}}`,                                      // no source
+		`{"source":{"sample":"nope"}}`,                        // unknown sample
+		`{"source":{"sample":"threecnot","text":"qubits 1"}}`, // two sources
+		`{"source":{"sample":"threecnot"},"options":{"mode":"bogus"}}`,
+		`{"source":{"sample":"threecnot"},"options":{"effort":"bogus"}}`,
+		`{"source":{"bench":"nope"}}`,
+		`not json`,
+	}
+	for _, body := range cases {
+		if _, code := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("submit %q: http %d, want 400", body, code)
+		}
+	}
+}
+
+func TestDrainingRejectsSubmits(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	if err := svc.Shutdown(contextWithTimeout(t, 10*time.Second)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, code := postJob(t, ts, `{"source":{"sample":"threecnot"}}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: http %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: http %d, want 503", code)
+	}
+}
+
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	st, _ := postJob(t, ts, `{"source":{"sample":"mixed4"},"options":{"seeds":[1,2,3]}}`)
+	if err := svc.Shutdown(contextWithTimeout(t, 60*time.Second)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The job must have finished (drained), not been abandoned.
+	j, ok := svc.jobByID(st.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	svc.mu.Lock()
+	state := j.state
+	svc.mu.Unlock()
+	if state != StateDone {
+		t.Fatalf("after drain, job state = %s, want done", state)
+	}
+}
+
+func TestHealthzAndMetricsShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var h map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, h)
+	}
+	var m metricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: http %d", code)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%+v", m) // snapshot must be serializable both ways
+}

@@ -27,6 +27,7 @@
 package tqec
 
 import (
+	"context"
 	"io"
 
 	"tqec/internal/bench"
@@ -119,11 +120,29 @@ type Result = compress.Result
 // Compile runs the seven-stage compression pipeline on a circuit.
 func Compile(c *Circuit, opt Options) (*Result, error) { return compress.Compile(c, opt) }
 
+// CompileContext is Compile with cancellation support: ctx is polled at
+// stage transitions and inside the annealing and routing hot loops, so a
+// cancelled or timed-out compile stops within one iteration boundary and
+// returns ctx's error.
+func CompileContext(ctx context.Context, c *Circuit, opt Options) (*Result, error) {
+	return compress.CompileContext(ctx, c, opt)
+}
+
 // CompileBest runs the pipeline once per seed in parallel (simulated-
 // annealing restarts) and returns the smallest-volume result;
 // deterministic for a fixed seed list. parallel ≤ 0 selects GOMAXPROCS.
+// Seeds that fail do not sink the compile while at least one succeeds
+// (Result.SeedsTried / Result.SeedErrors record the partial failures);
+// when every seed fails the error is a *compress.AllSeedsFailedError
+// aggregating the per-seed causes.
 func CompileBest(c *Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
 	return compress.CompileBest(c, opt, seeds, parallel)
+}
+
+// CompileBestContext is CompileBest with cancellation support (see
+// CompileContext).
+func CompileBestContext(ctx context.Context, c *Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
+	return compress.CompileBestContext(ctx, c, opt, seeds, parallel)
 }
 
 // ICM is the Initialization/CNOT/Measurement representation.
