@@ -38,16 +38,18 @@ func main() {
 		cacheSize  = flag.Int("cache", 256, "result-cache entries (-1 disables caching)")
 		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the request sets none")
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on requested per-job deadlines")
+		retain     = flag.Int("retain", 512, "finished jobs kept queryable before the oldest are forgotten (-1 keeps all)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight compiles")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheSize,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheSize,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxFinishedJobs: *retain,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

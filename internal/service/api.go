@@ -132,10 +132,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.payload = &pp
 			j.cached = true
 			j.state = StateDone
-			j.started = j.submitted
-			j.finished = time.Now()
+			// No compile ran: both stamps are "now" so the status reports
+			// RunMS=0 rather than inventing a run time.
+			now := time.Now()
+			j.started = now
+			j.finished = now
+			s.finishLocked(j)
 			s.mu.Unlock()
 			s.metrics.jobsDone.Inc()
+			s.metrics.jobsDoneCached.Inc()
 			s.logf(j, "event=done cached=true")
 			writeJSON(w, http.StatusOK, s.status(j))
 			return
@@ -147,6 +152,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.state = StateFailed
 		j.errMsg = "queue full or service draining"
 		j.finished = time.Now()
+		s.finishLocked(j)
 		s.mu.Unlock()
 		s.metrics.jobsRejected.Inc()
 		s.logf(j, "event=rejected")

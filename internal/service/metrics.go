@@ -73,13 +73,14 @@ func (h *histogram) snapshot() histSnapshot {
 // metrics is the service-wide observability surface, rendered as JSON by
 // the /metrics endpoint (stdlib-only, expvar-style).
 type metrics struct {
-	jobsSubmitted counter
-	jobsRejected  counter // queue full
-	jobsQueued    atomic.Int64
-	jobsRunning   atomic.Int64
-	jobsDone      counter
-	jobsFailed    counter
-	jobsCanceled  counter
+	jobsSubmitted  counter
+	jobsRejected   counter // queue full
+	jobsQueued     atomic.Int64
+	jobsRunning    atomic.Int64
+	jobsDone       counter
+	jobsDoneCached counter // subset of jobsDone answered from the cache
+	jobsFailed     counter
+	jobsCanceled   counter
 
 	cacheHits      counter
 	cacheMisses    counter
@@ -109,13 +110,14 @@ func (m *metrics) observeStage(name string, d time.Duration) {
 // metricsSnapshot is the /metrics JSON document.
 type metricsSnapshot struct {
 	Jobs struct {
-		Submitted int64 `json:"submitted"`
-		Rejected  int64 `json:"rejected"`
-		Queued    int64 `json:"queued"`
-		Running   int64 `json:"running"`
-		Done      int64 `json:"done"`
-		Failed    int64 `json:"failed"`
-		Canceled  int64 `json:"canceled"`
+		Submitted  int64 `json:"submitted"`
+		Rejected   int64 `json:"rejected"`
+		Queued     int64 `json:"queued"`
+		Running    int64 `json:"running"`
+		Done       int64 `json:"done"`
+		DoneCached int64 `json:"done_cached"`
+		Failed     int64 `json:"failed"`
+		Canceled   int64 `json:"canceled"`
 	} `json:"jobs"`
 	Cache struct {
 		Hits      int64   `json:"hits"`
@@ -137,6 +139,7 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) metricsSnapshot {
 	s.Jobs.Queued = m.jobsQueued.Load()
 	s.Jobs.Running = m.jobsRunning.Load()
 	s.Jobs.Done = m.jobsDone.Value()
+	s.Jobs.DoneCached = m.jobsDoneCached.Value()
 	s.Jobs.Failed = m.jobsFailed.Value()
 	s.Jobs.Canceled = m.jobsCanceled.Value()
 	s.Cache.Hits = m.cacheHits.Value()

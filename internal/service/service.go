@@ -49,6 +49,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps requested deadlines (default 30m).
 	MaxTimeout time.Duration
+	// MaxFinishedJobs bounds how many terminal jobs stay queryable via the
+	// status/result endpoints; beyond it the oldest-finished jobs are
+	// forgotten so a long-lived daemon does not accumulate every job it
+	// ever ran (default 512; negative retains everything).
+	MaxFinishedJobs int
 	// Logger receives structured per-job log lines (default stderr).
 	Logger *log.Logger
 }
@@ -68,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.MaxFinishedJobs == 0 {
+		c.MaxFinishedJobs = 512
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "tqecd ", log.LstdFlags|log.Lmicroseconds)
@@ -128,6 +136,10 @@ type ResultPayload struct {
 	Summary  string          `json:"summary"`
 }
 
+// compileFunc runs one multi-seed compile; it is a Server field so tests
+// can substitute a deterministic pipeline.
+type compileFunc func(ctx context.Context, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int) (*compress.Result, error)
+
 // Server is the compile service. Create with New, mount via Handler, and
 // stop with Shutdown (graceful) or Close (immediate).
 type Server struct {
@@ -135,6 +147,7 @@ type Server struct {
 	metrics *metrics
 	cache   *resultCache
 	mux     *http.ServeMux
+	compile compileFunc
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -142,6 +155,7 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	nextID   int
+	finished []string // terminal job IDs, oldest first, for retention pruning
 	draining bool
 	closed   bool
 	queue    chan *Job
@@ -158,6 +172,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries, m),
 		jobs:    map[string]*Job{},
 		queue:   make(chan *Job, cfg.QueueDepth),
+		compile: compress.CompileBestContext,
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()
@@ -284,28 +299,47 @@ func (s *Server) runJob(j *Job) {
 	s.logf(j, "event=start seeds=%d effort=%d mode=%s timeout=%s",
 		len(j.seeds), j.opt.Effort, j.opt.Mode, j.timeout)
 
-	res, err := compress.CompileBestContext(ctx, j.circ, j.opt, j.seeds, j.parallel)
+	res, err := s.compile(ctx, j.circ, j.opt, j.seeds, j.parallel)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.finished = time.Now()
 	j.cancel = nil
 	runDur := j.finished.Sub(j.started)
+	// A best-of sweep in which the context fired after >=1 seed succeeded
+	// returns err==nil with the context error only in SeedErrors. Such a
+	// result is valid for this job but NOT the deterministic full-seed-set
+	// answer the cache key promises, so it must never be cached.
+	interrupted := err == nil && (ctx.Err() != nil || seedsInterrupted(res.SeedErrors))
 	switch {
 	case err != nil && j.cancelRequested && errors.Is(err, context.Canceled):
 		j.state = StateCanceled
 		j.errMsg = "canceled"
 		s.metrics.jobsCanceled.Inc()
 		s.logf(j, "event=canceled run_ms=%.1f", ms(runDur))
+	case err != nil && errors.Is(err, context.Canceled) && s.rootCtx.Err() != nil:
+		// Aborted by Close or an expired Shutdown drain, not by the job's
+		// own deadline or a DELETE.
+		j.state = StateCanceled
+		j.errMsg = "canceled: server shutting down"
+		s.metrics.jobsCanceled.Inc()
+		s.logf(j, "event=canceled while=draining run_ms=%.1f", ms(runDur))
 	case err != nil:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.metrics.jobsFailed.Inc()
 		s.logf(j, "event=failed run_ms=%.1f err=%q", ms(runDur), j.errMsg)
+	case j.cancelRequested && interrupted:
+		// The cancel landed after some seeds had already succeeded; honor
+		// the DELETE rather than reporting the partial sweep as done.
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+		s.metrics.jobsCanceled.Inc()
+		s.logf(j, "event=canceled run_ms=%.1f partial_seeds=%d", ms(runDur), res.SeedsTried-len(res.SeedErrors))
 	default:
 		j.state = StateDone
 		j.payload = s.buildPayload(j, res)
-		if !j.noCache {
+		if !j.noCache && !interrupted {
 			s.cache.Put(j.Key, j.payload)
 		}
 		s.metrics.jobsDone.Inc()
@@ -313,8 +347,37 @@ func (s *Server) runJob(j *Job) {
 		for _, st := range res.StageTimes {
 			s.metrics.observeStage(st.Stage, st.Duration)
 		}
-		s.logf(j, "event=done run_ms=%.1f volume=%d placed=%d seeds_failed=%d",
-			ms(runDur), res.Volume, res.PlacedVolume, len(res.SeedErrors))
+		s.logf(j, "event=done run_ms=%.1f volume=%d placed=%d seeds_failed=%d partial=%t",
+			ms(runDur), res.Volume, res.PlacedVolume, len(res.SeedErrors), interrupted)
+	}
+	s.finishLocked(j)
+}
+
+// seedsInterrupted reports whether any per-seed failure was the context
+// being canceled or timing out, i.e. the sweep stopped early rather than
+// running every seed to completion.
+func seedsInterrupted(errs []compress.SeedError) bool {
+	for _, se := range errs {
+		if errors.Is(se.Err, context.Canceled) || errors.Is(se.Err, context.DeadlineExceeded) {
+			return true
+		}
+	}
+	return false
+}
+
+// finishLocked finalizes a terminal job under s.mu: the parsed circuit is
+// released immediately, and once the retention bound is exceeded the
+// oldest-finished jobs are dropped from the job table entirely (their IDs
+// then answer 404, like a restart would).
+func (s *Server) finishLocked(j *Job) {
+	j.circ = nil
+	if s.cfg.MaxFinishedJobs < 0 {
+		return
+	}
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.MaxFinishedJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
 	}
 }
 
@@ -344,6 +407,7 @@ func (s *Server) cancelJob(j *Job) (State, bool) {
 		j.errMsg = "canceled"
 		j.finished = time.Now()
 		s.metrics.jobsCanceled.Inc()
+		s.finishLocked(j)
 		s.logf(j, "event=canceled while=queued")
 		return StateCanceled, true
 	case StateRunning:

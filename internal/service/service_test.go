@@ -152,6 +152,9 @@ func TestCacheHitOnIdenticalSubmission(t *testing.T) {
 	if second.CacheKey != first.CacheKey {
 		t.Fatalf("cache keys differ: %s vs %s", first.CacheKey, second.CacheKey)
 	}
+	if second.RunMS != 0 {
+		t.Fatalf("cache-hit RunMS = %.1f, want 0 (no compile ran)", second.RunMS)
+	}
 
 	var m metricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
@@ -167,6 +170,9 @@ func TestCacheHitOnIdenticalSubmission(t *testing.T) {
 	}
 	if m.Jobs.Done != 2 {
 		t.Fatalf("jobs done = %d, want 2", m.Jobs.Done)
+	}
+	if m.Jobs.DoneCached != 1 {
+		t.Fatalf("jobs done_cached = %d, want 1", m.Jobs.DoneCached)
 	}
 	if len(m.Stages) == 0 {
 		t.Fatal("expected per-stage histograms after a compile")
