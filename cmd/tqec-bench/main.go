@@ -29,6 +29,7 @@ func main() {
 		skipRouting = flag.Bool("skip-routing", false, "Table 3: stop after placement")
 		jsonOut     = flag.String("json", "", "also write a machine-readable report to this file")
 		effortCurve = flag.String("effort-curve", "", "also run the quality-vs-budget curve on this benchmark")
+		tag         = flag.String("tag", "", "also run a timing trajectory and write it to BENCH_<tag>.json (CI artifact)")
 	)
 	flag.Parse()
 
@@ -111,6 +112,16 @@ func main() {
 		fail(rep.WriteJSON(f))
 		fail(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	if *tag != "" {
+		traj, err := bench.RunTrajectory(*tag, specs, *seed, eff, *skipRouting)
+		fail(err)
+		path := fmt.Sprintf("BENCH_%s.json", *tag)
+		f, err := os.Create(path)
+		fail(err)
+		fail(traj.WriteJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 }
 

@@ -15,11 +15,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"tqec/internal/bench"
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
+	"tqec/internal/obs"
 	"tqec/internal/revlib"
 )
 
@@ -38,8 +40,18 @@ func main() {
 		runDRC      = flag.Bool("drc", false, "run the design-rule checker at every stage transition")
 		jsonOut     = flag.String("json", "", "write a machine-readable result report to this file")
 		timeout     = flag.Duration("timeout", 0, "abort the compile after this long (0 = no deadline)")
+		traceOut    = flag.String("trace", "", "record a pipeline trace and write it to this file in Chrome trace_event format (chrome://tracing, Perfetto)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address while compiling (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "tqecc: debug listener:", err)
+			}
+		}()
+	}
 
 	c, err := loadCircuit(*inReal, *inText, *sample, *benchName, *seed)
 	if err != nil {
@@ -80,7 +92,20 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer("tqecc:" + c.Name)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	res, err := compress.CompileContext(ctx, c, opt)
+	tracer.Finish()
+	if *traceOut != "" {
+		if werr := writeTrace(*traceOut, tracer); werr != nil {
+			fmt.Fprintln(os.Stderr, "tqecc:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "tqecc: compile exceeded -timeout %s\n", *timeout)
@@ -136,6 +161,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tqecc: drc failed: %d error(s)\n", res.DRC.Errors())
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the recorded span tree in Chrome trace_event format.
+// The trace is written even when the compile failed or timed out — a
+// partial trace is exactly what explains where the time went.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadCircuit(inReal, inText, sample, benchName string, seed int64) (*circuit.Circuit, error) {

@@ -12,6 +12,12 @@
 //	    -d '{"source":{"sample":"threecnot"},"options":{"mode":"full"}}'
 //	curl -s localhost:8142/v1/jobs/j000001/result
 //
+// Observability:
+//
+//	curl -s -H 'Accept: text/plain' localhost:8142/metrics   # Prometheus exposition
+//	tqecd -debug-addr localhost:6060                         # net/http/pprof
+//	tqecd -log-level debug -log-format json                  # structured logs
+//
 // SIGINT/SIGTERM triggers a graceful drain: in-flight compiles finish
 // (up to -drain-grace), then the process exits.
 package main
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"tqec/internal/obs"
 	"tqec/internal/service"
 )
 
@@ -40,8 +47,26 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on requested per-job deadlines")
 		retain     = flag.Int("retain", 512, "finished jobs kept queryable before the oldest are forgotten (-1 keeps all)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight compiles")
+		logLevel   = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		logFormat  = flag.String("log-format", "text", "log format: text | json")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(obs.LogConfig{Level: *logLevel, Format: *logFormat, Writer: os.Stderr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tqecd:", err)
+		os.Exit(1)
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+	}
 
 	svc := service.New(service.Config{
 		Workers:         *workers,
@@ -50,12 +75,13 @@ func main() {
 		DefaultTimeout:  *defTimeout,
 		MaxTimeout:      *maxTimeout,
 		MaxFinishedJobs: *retain,
+		Logger:          logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "tqecd: listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr, "version", obs.Version())
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -64,21 +90,21 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "tqecd: %s, draining (grace %s)\n", sig, *drainGrace)
+		logger.Info("draining", "signal", sig.String(), "grace", *drainGrace)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()
 		// Stop accepting connections first, then drain the job queue.
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "tqecd: http shutdown: %v\n", err)
+			logger.Error("http shutdown", "err", err)
 		}
 		if err := svc.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "tqecd: drain incomplete: %v\n", err)
+			logger.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "tqecd: drained cleanly")
+		logger.Info("drained cleanly")
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "tqecd: %v\n", err)
+			logger.Error("serve", "err", err)
 			os.Exit(1)
 		}
 	}

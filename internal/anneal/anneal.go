@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"tqec/internal/obs"
 )
 
 // Problem is an annealable optimization state.
@@ -88,6 +90,12 @@ const ctxCheckEvery = 64
 // can distinguish a completed schedule from an interrupted one. An
 // uninterrupted run is identical to Run for the same seed: the context
 // polls never touch the random stream.
+//
+// When ctx carries an obs tracer, every temperature epoch becomes an
+// "anneal-epoch" sub-span recording the temperature and the epoch's
+// attempted/accepted/rejected move counts. The tracer is consulted once
+// per epoch, never per move, and instrumentation reads no randomness, so
+// a traced run is bit-identical to an untraced one.
 func RunContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 	cur := p.Cost()
 	opt = opt.withDefaults(cur)
@@ -95,12 +103,35 @@ func RunContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 
 	res := Result{InitialCost: cur, BestCost: cur}
 	best := p.Snapshot()
+	parent := obs.FromContext(ctx)
+
+	// endEpoch stamps the finished (or interrupted) epoch span with its
+	// move accounting; a nil span makes all of this a no-op.
+	var epochSpan *obs.Span
+	epochMoves, epochAccepted := 0, 0
+	endEpoch := func() {
+		if epochSpan == nil {
+			return
+		}
+		moves := res.Moves - epochMoves
+		accepted := res.Accepted - epochAccepted
+		epochSpan.SetAttr("moves", moves)
+		epochSpan.SetAttr("accepted", accepted)
+		epochSpan.SetAttr("rejected", moves-accepted)
+		epochSpan.End()
+		epochSpan = nil
+	}
 
 	var err error
 anneal:
 	for temp := opt.InitialTemp; temp > opt.FinalTemp && res.Moves < opt.MaxMoves; temp *= opt.Cooling {
 		if err = ctx.Err(); err != nil {
 			break
+		}
+		if parent != nil {
+			epochMoves, epochAccepted = res.Moves, res.Accepted
+			epochSpan = parent.StartChild("anneal-epoch")
+			epochSpan.SetAttr("temp", temp)
 		}
 		for i := 0; i < opt.MovesPerTemp && res.Moves < opt.MaxMoves; i++ {
 			undo := p.Perturb(rng)
@@ -130,7 +161,9 @@ anneal:
 				best = p.Snapshot()
 			}
 		}
+		endEpoch()
 	}
+	endEpoch() // the epoch interrupted by a mid-batch cancellation, if any
 	p.Restore(best)
 	return res, err
 }

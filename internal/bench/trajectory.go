@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"tqec/internal/compress"
+	"tqec/internal/obs"
+)
+
+// StageMS is one pipeline stage's wall-clock in a trajectory entry.
+type StageMS struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+}
+
+// TrajectoryEntry records one benchmark compile of a trajectory run:
+// what came out (volumes) and where the time went (per-stage wall-clock,
+// in pipeline order).
+type TrajectoryEntry struct {
+	Name         string    `json:"name"`
+	Qubits       int       `json:"qubits"`
+	PlacedVolume int       `json:"placed_volume"`
+	Volume       int       `json:"volume"`
+	Stages       []StageMS `json:"stages"`
+	TotalMS      float64   `json:"total_ms"`
+}
+
+// Trajectory is the machine-readable performance record a CI run archives
+// (BENCH_<tag>.json): one entry per benchmark, tagged so runs can be
+// compared across commits.
+type Trajectory struct {
+	Tag     string            `json:"tag"`
+	Version string            `json:"version"`
+	Seed    int64             `json:"seed"`
+	Effort  string            `json:"effort"`
+	Entries []TrajectoryEntry `json:"entries"`
+}
+
+// RunTrajectory compiles every spec once in full mode and collects the
+// per-stage timings from Result.StageTimes.
+func RunTrajectory(tag string, specs []Spec, seed int64, effort compress.Effort, skipRouting bool) (Trajectory, error) {
+	traj := Trajectory{
+		Tag:     tag,
+		Version: obs.Version(),
+		Seed:    seed,
+		Effort:  effortName(effort),
+	}
+	for _, s := range specs {
+		rep, c, err := s.GenerateICM(seed)
+		if err != nil {
+			return traj, err
+		}
+		res, err := compress.CompileICM(rep, s.Name, compress.Options{
+			Mode: compress.Full, Seed: seed, Effort: effort, SkipRouting: skipRouting,
+		}, time.Time{}, nil)
+		if err != nil {
+			return traj, fmt.Errorf("bench %s: %w", s.Name, err)
+		}
+		e := TrajectoryEntry{
+			Name:         s.Name,
+			Qubits:       c.Width,
+			PlacedVolume: res.PlacedVolume,
+			Volume:       res.Volume,
+			TotalMS:      float64(res.Runtime) / float64(time.Millisecond),
+		}
+		for _, st := range res.StageTimes {
+			e.Stages = append(e.Stages, StageMS{Stage: st.Stage, MS: float64(st.Duration) / float64(time.Millisecond)})
+		}
+		traj.Entries = append(traj.Entries, e)
+	}
+	return traj, nil
+}
+
+func effortName(e compress.Effort) string {
+	switch e {
+	case compress.EffortNormal:
+		return "normal"
+	case compress.EffortHigh:
+		return "high"
+	default:
+		return "fast"
+	}
+}
+
+// WriteJSON serializes the trajectory.
+func (t Trajectory) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrajectory parses a trajectory written by WriteJSON.
+func ReadTrajectory(r io.Reader) (Trajectory, error) {
+	var t Trajectory
+	err := json.NewDecoder(r).Decode(&t)
+	return t, err
+}

@@ -1,10 +1,12 @@
 package bridge
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"tqec/internal/obs"
 	"tqec/internal/simplify"
 )
 
@@ -55,6 +57,14 @@ func DualNone(r *simplify.Result) *DualResult {
 //
 // Passes repeat until no merge applies, making the result maximal.
 func Dual(r *simplify.Result) *DualResult {
+	return DualContext(context.Background(), r)
+}
+
+// DualContext is Dual with tracing support: when ctx carries an obs
+// tracer, every merge-iteration pass becomes a "dual-pass" sub-span
+// recording the merges it performed. The algorithm itself is unchanged
+// and ignores cancellation (passes are cheap and strictly decreasing).
+func DualContext(ctx context.Context, r *simplify.Result) *DualResult {
 	g := r.Graph
 	d := &DualResult{
 		Simplified: r,
@@ -65,8 +75,15 @@ func Dual(r *simplify.Result) *DualResult {
 		d.parent[i] = i
 		d.members[i] = []int{i}
 	}
-	for changed := true; changed; {
+	parent := obs.FromContext(ctx)
+	for pass, changed := 0, true; changed; pass++ {
 		changed = false
+		var passSpan *obs.Span
+		merged := len(d.Bridges)
+		if parent != nil {
+			passSpan = parent.StartChild("dual-pass")
+			passSpan.SetAttr("pass", pass+1)
+		}
 		for _, part := range r.Parts() {
 			nets := r.PartNets(part)
 			for i := 0; i < len(nets); i++ {
@@ -76,6 +93,10 @@ func Dual(r *simplify.Result) *DualResult {
 					}
 				}
 			}
+		}
+		if passSpan != nil {
+			passSpan.SetAttr("merges", len(d.Bridges)-merged)
+			passSpan.End()
 		}
 	}
 	return d

@@ -24,6 +24,7 @@ import (
 	"tqec/internal/drc"
 	"tqec/internal/geom"
 	"tqec/internal/icm"
+	"tqec/internal/obs"
 	"tqec/internal/pdgraph"
 	"tqec/internal/place"
 	"tqec/internal/route"
@@ -217,10 +218,27 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	}
 	stageStart := time.Now()
 	var stages []StageTime
+	// Tracing: every executed stage becomes a span under the context's
+	// current span; begin() hands the stage's inner loops a context
+	// carrying that span so they can attach their own sub-spans
+	// (anneal epochs, route rounds, dual passes). With no tracer in ctx,
+	// begin() returns ctx itself and every span call is a nil no-op, so
+	// the untraced pipeline runs the exact same instruction stream apart
+	// from a handful of nil checks per stage.
+	root := obs.FromContext(ctx)
+	var stageSpan *obs.Span
+	begin := func(stage string) context.Context {
+		stageStart = time.Now()
+		if root == nil {
+			return ctx
+		}
+		stageSpan = root.StartChild(stage)
+		return obs.ContextWithSpan(ctx, stageSpan)
+	}
 	mark := func(stage string) {
-		now := time.Now()
-		stages = append(stages, StageTime{Stage: stage, Duration: now.Sub(stageStart)})
-		stageStart = now
+		stages = append(stages, StageTime{Stage: stage, Duration: time.Since(stageStart)})
+		stageSpan.End()
+		stageSpan = nil
 	}
 	// In -drc mode the artifact set grows as stages complete and the
 	// checker runs at every stage transition (stage rules see exactly the
@@ -235,33 +253,48 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		if drcRep == nil {
 			drcRep = &drc.Report{Name: name}
 		}
-		drcRep.Merge(drc.RunStage(art, st))
+		sp := root.StartChild("drc:" + st.String())
+		batch := drc.RunStage(art, st)
+		sp.SetAttr("rules_ran", len(batch.Ran))
+		sp.SetAttr("violations", len(batch.Violations))
+		sp.End()
+		drcRep.Merge(batch)
 	}
 	check(drc.StageICM)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("compress: %w", err)
 	}
 
+	begin("pdgraph")
 	g, err := pdgraph.New(rep)
 	if err != nil {
+		stageSpan.End()
 		return nil, fmt.Errorf("compress: pdgraph: %w", err)
 	}
 	art.Graph = g
-	check(drc.StagePDGraph)
+	stageSpan.SetAttr("modules", g.NumModules())
+	stageSpan.SetAttr("nets", len(g.Nets))
 	mark("pdgraph")
+	check(drc.StagePDGraph)
 
-	sOpt := simplify.Options{MeasurementSide: opt.MeasurementSideIShape}
-	if opt.Mode != Full {
-		sOpt = simplify.Options{Disabled: true}
+	var s *simplify.Result
+	if opt.Mode == Full {
+		begin("simplify")
+		s = simplify.Run(g, simplify.Options{MeasurementSide: opt.MeasurementSideIShape})
+		stageSpan.SetAttr("merges", s.NumMerges())
+		mark("simplify")
+	} else {
+		// I-shaped simplification is off outside Full mode; the stage is
+		// skipped entirely and therefore absent from StageTimes.
+		s = simplify.Run(g, simplify.Options{Disabled: true})
 	}
-	s := simplify.Run(g, sOpt)
 	art.Simplified = s
 	check(drc.StageSimplify)
-	mark("simplify")
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("compress: %w", err)
 	}
 
+	begin("primal-bridge")
 	var p *bridge.PrimalResult
 	if opt.Mode == Full {
 		restarts := opt.PrimalRestarts
@@ -273,18 +306,22 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		p = bridge.Singletons(s)
 	}
 	art.Primal = p
-	check(drc.StagePrimal)
+	stageSpan.SetAttr("nodes", p.NumNodes())
 	mark("primal-bridge")
+	check(drc.StagePrimal)
 
+	dualCtx := begin("dual-bridge")
 	var d *bridge.DualResult
 	if opt.Mode == DeformOnly {
 		d = bridge.DualNone(s)
 	} else {
-		d = bridge.Dual(s)
+		d = bridge.DualContext(dualCtx, s)
 	}
 	art.Dual = d
-	check(drc.StageDual)
+	stageSpan.SetAttr("components", d.NumComponents())
+	stageSpan.SetAttr("bridges", d.NumBridges())
 	mark("dual-bridge")
+	check(drc.StageDual)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("compress: %w", err)
 	}
@@ -293,11 +330,13 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	if err != nil {
 		return nil, fmt.Errorf("compress: items: %w", err)
 	}
-	pl, err := place.RunContext(ctx, in, place.Options{
+	placeCtx := begin("place")
+	pl, err := place.RunContext(placeCtx, in, place.Options{
 		Seed:     opt.Seed,
 		MaxMoves: opt.Effort.placeMoves(len(in.Items)),
 	})
 	if err != nil {
+		stageSpan.End()
 		return nil, fmt.Errorf("compress: place: %w", err)
 	}
 	if !opt.NoCompaction {
@@ -307,11 +346,15 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	// soft penalty left behind; compaction alone never moves items right.
 	place.LegalizeOrder(pl)
 	if err := pl.CheckLegal(); err != nil {
+		stageSpan.End()
 		return nil, fmt.Errorf("compress: placement legality: %w", err)
 	}
 	art.Placement = pl
-	check(drc.StagePlace)
+	stageSpan.SetAttr("moves", pl.SA.Moves)
+	stageSpan.SetAttr("accepted", pl.SA.Accepted)
+	stageSpan.SetAttr("volume", pl.Volume)
 	mark("place")
+	check(drc.StagePlace)
 
 	res := &Result{
 		Name:            name,
@@ -333,8 +376,10 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	res.Volume = res.PlacedVolume
 
 	if !opt.SkipRouting {
-		rr, grid, nets, off, err := routeNets(ctx, pl, opt)
+		routeCtx := begin("route")
+		rr, grid, nets, off, err := routeNets(routeCtx, pl, opt)
 		if err != nil {
+			stageSpan.End()
 			return nil, fmt.Errorf("compress: route: %w", err)
 		}
 		res.Routing = rr
@@ -347,12 +392,16 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		art.RouteGrid = grid
 		art.RouteNets = nets
 		art.RouteOffset = off
+		stageSpan.SetAttr("rounds", rr.Iters)
+		stageSpan.SetAttr("wirelength", rr.Wirelength)
+		stageSpan.SetAttr("overflow", rr.Overflow)
 		mark("route")
 	}
 	// The last two transitions also run when their stage was skipped, so
 	// the report records the route/geometry rules as not checked.
 	check(drc.StageRoute)
 	if opt.KeepGeometry {
+		begin("geometry")
 		res.Geometry = realize(res)
 		art.Geometry = res.Geometry
 		mark("geometry")

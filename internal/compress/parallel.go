@@ -11,6 +11,7 @@ import (
 
 	"tqec/internal/circuit"
 	"tqec/internal/icm"
+	"tqec/internal/obs"
 )
 
 // SeedError is one failed simulated-annealing restart: the seed that ran
@@ -118,7 +119,18 @@ func bestOf(ctx context.Context, seeds []int64, parallel int, run func(context.C
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := run(ctx, seed)
+			// Each restart gets its own span so a traced multi-seed sweep
+			// shows the parallel pipelines side by side; with no tracer in
+			// ctx this is a nil no-op.
+			sp, runCtx := obs.StartSpan(ctx, fmt.Sprintf("seed-%d", seed))
+			sp.SetAttr("seed", seed)
+			res, err := run(runCtx, seed)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			} else {
+				sp.SetAttr("volume", res.Volume)
+			}
+			sp.End()
 			results[i] = outcome{res: res, err: err}
 		}(i, seed)
 	}

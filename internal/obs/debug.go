@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+)
+
+// DebugMux returns an http mux exposing the net/http/pprof profiling
+// endpoints under /debug/pprof/. Mount it on an opt-in listener
+// (tqecd -debug-addr) — never on the public service address.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Version describes the running binary from its embedded build info:
+// module version when stamped, plus the VCS revision when the build
+// recorded one. Falls back to "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return v + "+" + rev + dirty
+	}
+	return v
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogConfig is the shared logger configuration of the tqec CLIs and the
+// tqecd daemon, so every binary emits the same structured line shape and
+// understands the same -log-level / -log-format flag values.
+type LogConfig struct {
+	// Level is debug, info, warn, or error (default info).
+	Level string
+	// Format is text or json (default text).
+	Format string
+	// Writer receives the log output (required).
+	Writer io.Writer
+}
+
+// NewLogger builds a slog.Logger from the shared configuration.
+func NewLogger(cfg LogConfig) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(cfg.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", cfg.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(cfg.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(cfg.Writer, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(cfg.Writer, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", cfg.Format)
+	}
+}
+
+// NopLogger returns a logger that discards everything (tests, tools).
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBounds are the shared latency bucket upper bounds, in
+// milliseconds. The final +Inf bucket is implicit.
+var DefaultLatencyBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// Histogram is a fixed-bucket histogram. Bucket counts are stored
+// per-bucket (non-cumulative); the Prometheus exposition accumulates
+// them into the required `le`-cumulative form on render.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; the last is +Inf
+	sum    float64
+	n      int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil selects DefaultLatencyBounds).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// HistSnapshot is a consistent copy of a histogram's state.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds; the final +Inf bucket is implicit
+	Counts []int64   // per-bucket (non-cumulative), len(Bounds)+1
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot copies the histogram state under its lock.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: h.bounds,
+		Counts: append([]int64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// HistogramVec is a family of histograms keyed by one label value
+// (e.g. per-pipeline-stage latency).
+type HistogramVec struct {
+	mu     sync.Mutex
+	label  string
+	bounds []float64
+	series map[string]*Histogram
+}
+
+// With returns (creating on first use) the child histogram for a label
+// value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.series[value]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.series[value] = h
+	}
+	return h
+}
+
+// Snapshot copies every child keyed by label value.
+func (v *HistogramVec) Snapshot() map[string]HistSnapshot {
+	v.mu.Lock()
+	names := make([]string, 0, len(v.series))
+	for n := range v.series {
+		names = append(names, n)
+	}
+	children := make(map[string]*Histogram, len(names))
+	for _, n := range names {
+		children[n] = v.series[n]
+	}
+	v.mu.Unlock()
+	out := make(map[string]HistSnapshot, len(names))
+	for n, h := range children {
+		out[n] = h.Snapshot()
+	}
+	return out
+}
+
+// metricKind discriminates Prometheus metric families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindHistogramVec
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric family.
+type family struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+	vec        *HistogramVec
+}
+
+// Registry holds metric families in registration order and renders them
+// in the Prometheus text exposition format. Registering a duplicate name
+// panics: metric names are stable identifiers, like DRC rule names.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic("obs: duplicate metric " + f.name)
+	}
+	r.byName[f.name] = f
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a counter. Names should follow the
+// Prometheus convention and end in _total.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram (nil bounds selects
+// DefaultLatencyBounds).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(&family{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// HistogramVec registers and returns a one-label histogram family.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	v := &HistogramVec{label: label, bounds: bounds, series: map[string]*Histogram{}}
+	r.add(&family{name: name, help: help, kind: kindHistogramVec, vec: v})
+	return v
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, `le`-cumulative
+// histogram buckets ending in +Inf, and _sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
+		case kindHistogram:
+			writeHistSeries(&b, f.name, "", "", f.hist.Snapshot())
+		case kindHistogramVec:
+			snaps := f.vec.Snapshot()
+			values := make([]string, 0, len(snaps))
+			for v := range snaps {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				writeHistSeries(&b, f.name, f.vec.label, v, snaps[v])
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistSeries renders one histogram series with cumulative buckets.
+func writeHistSeries(b *strings.Builder, name, label, value string, s HistSnapshot) {
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labelPrefix(label, value), formatFloat(bound), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix(label, value), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelSuffix(label, value), formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelSuffix(label, value), s.Count)
+}
+
+func labelPrefix(label, value string) string {
+	if label == "" {
+		return ""
+	}
+	// %q escapes backslashes, quotes, and newlines, which is exactly the
+	// Prometheus label-value escaping.
+	return fmt.Sprintf("%s=%q,", label, value)
+}
+
+func labelSuffix(label, value string) string {
+	if label == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", label, value)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

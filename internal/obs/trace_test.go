@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilFastPath(t *testing.T) {
+	ctx := context.Background()
+	if sp := FromContext(ctx); sp != nil {
+		t.Fatalf("FromContext on a bare context = %v, want nil", sp)
+	}
+	sp, sctx := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatalf("StartSpan without tracer = %v, want nil", sp)
+	}
+	if sctx != ctx {
+		t.Fatal("StartSpan without tracer must return the context unchanged")
+	}
+	// Every method must be a no-op on nil, never a panic.
+	sp.SetAttr("k", 1)
+	sp.End()
+	if c := sp.StartChild("y"); c != nil {
+		t.Fatalf("nil.StartChild = %v, want nil", c)
+	}
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil.Duration = %v, want 0", d)
+	}
+	if f := sp.Find("y"); f != nil {
+		t.Fatalf("nil.Find = %v, want nil", f)
+	}
+	var tr *Tracer
+	tr.Finish()
+	if tr.Root() != nil || tr.Tree() != nil || tr.ChromeTrace() != nil {
+		t.Fatal("nil tracer exports must be nil")
+	}
+	if ctx2 := WithTracer(ctx, nil); ctx2 != ctx {
+		t.Fatal("WithTracer(nil) must return the context unchanged")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTracer("root")
+	ctx := WithTracer(context.Background(), tr)
+
+	stage, sctx := StartSpan(ctx, "stage")
+	stage.SetAttr("n", 3)
+	sub, _ := StartSpan(sctx, "sub")
+	sub.End()
+	stage.End()
+	other, _ := StartSpan(ctx, "other")
+	other.End()
+	tr.Finish()
+
+	root := tr.Root()
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(root.Children))
+	}
+	if got := root.Children[0].Name; got != "stage" {
+		t.Fatalf("first child = %q, want stage", got)
+	}
+	if len(root.Children[0].Children) != 1 || root.Children[0].Children[0].Name != "sub" {
+		t.Fatalf("sub-span missing: %+v", root.Children[0].Children)
+	}
+	if found := root.Find("sub"); len(found) != 1 {
+		t.Fatalf("Find(sub) = %d spans, want 1", len(found))
+	}
+	tree := tr.Tree()
+	if tree.Name != "root" || len(tree.Children) != 2 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if tree.Children[0].Attrs["n"] != 3 {
+		t.Fatalf("stage attrs = %v, want n=3", tree.Children[0].Attrs)
+	}
+	for _, c := range tree.Children {
+		if c.StartUS < 0 || c.DurUS < 0 {
+			t.Fatalf("negative time in %+v", c)
+		}
+	}
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SpanJSON
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not round-trip: %v", err)
+	}
+}
+
+func TestChromeTraceLanes(t *testing.T) {
+	tr := NewTracer("root")
+	root := tr.Root()
+
+	// a and b overlap in time (a is still open when b starts), so they
+	// must land in different lanes; c starts after both ended and reuses
+	// the parent lane.
+	a := root.StartChild("a")
+	b := root.StartChild("b")
+	b.End()
+	a.End()
+	c := root.StartChild("c")
+	c.End()
+	tr.Finish()
+
+	events := tr.ChromeTrace()
+	tid := map[string]int{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("negative timestamp in %+v", ev)
+		}
+		tid[ev.Name] = ev.TID
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 4", len(events))
+	}
+	if tid["a"] == tid["b"] {
+		t.Fatalf("overlapping siblings share lane %d", tid["a"])
+	}
+	if tid["c"] != tid["root"] {
+		t.Fatalf("sequential child lane = %d, want parent lane %d", tid["c"], tid["root"])
+	}
+	var buf strings.Builder
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []ChromeEvent
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer("root")
+	sp := tr.Root().StartChild("x")
+	sp.End()
+	end := sp.EndTime
+	sp.End()
+	if sp.EndTime != end {
+		t.Fatal("second End moved the end time")
+	}
+	tr.Finish()
+	rootEnd := tr.Root().EndTime
+	tr.Finish()
+	if tr.Root().EndTime != rootEnd {
+		t.Fatal("second Finish moved the root end time")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"tqec/internal/obs"
 )
 
 // Cell is a grid coordinate in paper units.
@@ -168,8 +170,14 @@ func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
 // reroute inside a round, so a timed-out or cancelled compile stops at
 // the next net boundary instead of finishing the remaining rounds; the
 // partial routing state is discarded and ctx's error returned.
+//
+// When ctx carries an obs tracer, every PathFinder negotiation round
+// becomes a "route-round" sub-span recording how many nets were ripped
+// up and rerouted and the overflow remaining after the round. The tracer
+// is consulted once per round, never per cell.
 func RouteContext(ctx context.Context, g *Grid, nets []Net, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	parent := obs.FromContext(ctx)
 	for _, n := range nets {
 		for _, p := range n.Pins {
 			if !g.In(p) {
@@ -221,8 +229,15 @@ func RouteContext(ctx context.Context, g *Grid, nets []Net, opt Options) (*Resul
 				}
 			}
 		}
+		var roundSpan *obs.Span
+		if parent != nil {
+			roundSpan = parent.StartChild("route-round")
+			roundSpan.SetAttr("round", iter+1)
+			roundSpan.SetAttr("ripped_nets", len(toRoute))
+		}
 		for _, oi := range toRoute {
 			if err := ctx.Err(); err != nil {
+				roundSpan.End()
 				return nil, fmt.Errorf("route: %w", err)
 			}
 			n := nets[oi]
@@ -247,6 +262,10 @@ func RouteContext(ctx context.Context, g *Grid, nets []Net, opt Options) (*Resul
 			}
 		}
 		res.Overflow = overflow
+		if roundSpan != nil {
+			roundSpan.SetAttr("overflow", overflow)
+			roundSpan.End()
+		}
 		if overflow == 0 {
 			break
 		}

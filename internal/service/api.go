@@ -10,6 +10,7 @@ import (
 	"tqec/internal/bench"
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
+	"tqec/internal/obs"
 	"tqec/internal/revlib"
 )
 
@@ -25,6 +26,11 @@ type SubmitRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache skips both cache lookup and insertion for this job.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace records a span tree for the compile, retrievable from
+	// GET /v1/jobs/{id}/trace once the job finishes. A traced submission
+	// skips the cache lookup (a cached answer would carry no trace) but
+	// its result is still cached for later submissions.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Source selects exactly one circuit input.
@@ -76,6 +82,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -117,13 +124,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := s.newJob(name, key, c, opt, seeds, req.Options.Parallel, timeout, req.NoCache)
+	j := s.newJob(name, key, c, opt, seeds, req.Options.Parallel, timeout, req.NoCache, req.Trace)
 	s.metrics.jobsSubmitted.Inc()
 
 	// Content-addressed fast path: an identical compile already ran, so
 	// the job completes instantly with the cached payload (re-labelled
-	// with this submission's name).
-	if !req.NoCache {
+	// with this submission's name). Traced jobs always compile — the
+	// trace is the point, and a cached answer has none.
+	if !req.NoCache && !req.Trace {
 		if p, ok := s.cache.Get(key); ok {
 			s.mu.Lock()
 			pp := *p
@@ -139,9 +147,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.finished = now
 			s.finishLocked(j)
 			s.mu.Unlock()
-			s.metrics.jobsDone.Inc()
+			// Disjoint from jobsDone: a cache replay ran no compile, so it
+			// counts only here (see TestDoneCountersDisjoint).
 			s.metrics.jobsDoneCached.Inc()
-			s.logf(j, "event=done cached=true")
+			s.log(j, "done", "cached", true)
 			writeJSON(w, http.StatusOK, s.status(j))
 			return
 		}
@@ -155,11 +164,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.finishLocked(j)
 		s.mu.Unlock()
 		s.metrics.jobsRejected.Inc()
-		s.logf(j, "event=rejected")
+		s.log(j, "rejected")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "queue full or service draining"})
 		return
 	}
-	s.logf(j, "event=submitted key=%.12s timeout=%s", j.Key, timeout)
+	s.log(j, "submitted", "key", j.Key[:12], "timeout", timeout)
 	writeJSON(w, http.StatusAccepted, s.status(j))
 }
 
@@ -192,6 +201,34 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, payload)
 }
 
+// handleTrace serves the span tree of a traced job once it is terminal
+// (the tracer is being written while the compile runs). ?format=chrome
+// selects the Chrome trace_event array form for chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	s.mu.Lock()
+	state, tracer := j.state, j.tracer
+	s.mu.Unlock()
+	if tracer == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job was not traced (submit with \"trace\": true)"})
+		return
+	}
+	if !state.terminal() {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job is %s, trace not final", state)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "chrome" {
+		_ = tracer.WriteChromeTrace(w)
+		return
+	}
+	_ = tracer.WriteJSON(w)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
@@ -207,18 +244,41 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.status(j))
 }
 
+// HealthStatus is the GET /healthz response.
+type HealthStatus struct {
+	Status     string  `json:"status"`
+	Version    string  `json:"version"`
+	UptimeMS   float64 `json:"uptime_ms"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	h := HealthStatus{
+		Status:     "ok",
+		Version:    obs.Version(),
+		UptimeMS:   ms(time.Since(s.started)),
+		QueueDepth: len(s.queue),
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	code := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
+// handleMetrics content-negotiates: a request whose Accept header asks
+// for text/plain (a Prometheus scraper) gets the text exposition format;
+// everything else keeps the JSON document tools already consume.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.snapshot(len(s.queue), s.cache.Len()))
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
+	"tqec/internal/obs"
 )
 
 // CacheKey content-addresses one compile: the SHA-256 of the normalized
@@ -58,7 +59,7 @@ type resultCache struct {
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
 
-	hits, misses, evictions *counter
+	hits, misses, evictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -71,9 +72,9 @@ func newResultCache(max int, m *metrics) *resultCache {
 		max:       max,
 		order:     list.New(),
 		entries:   map[string]*list.Element{},
-		hits:      &m.cacheHits,
-		misses:    &m.cacheMisses,
-		evictions: &m.cacheEvictions,
+		hits:      m.cacheHits,
+		misses:    m.cacheMisses,
+		evictions: m.cacheEvictions,
 	}
 }
 

@@ -1,48 +1,95 @@
 package service
 
 import (
+	"io"
 	"sort"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"tqec/internal/obs"
 )
 
-// counter is a monotonically increasing metric.
-type counter struct{ v atomic.Int64 }
+// metrics is the service-wide observability surface, built on the obs
+// registry so one set of instruments renders both ways: as the JSON
+// document the /metrics endpoint has always served, and as Prometheus
+// text exposition when the scraper asks for text/plain.
+type metrics struct {
+	reg *obs.Registry
 
-func (c *counter) Add(n int64) { c.v.Add(n) }
-func (c *counter) Inc()        { c.v.Add(1) }
-func (c *counter) Value() int64 {
-	return c.v.Load()
+	jobsSubmitted *obs.Counter
+	jobsRejected  *obs.Counter // queue full
+	jobsQueued    *obs.Gauge
+	jobsRunning   *obs.Gauge
+	// jobsDone counts compiles that ran to completion; jobsDoneCached
+	// counts submissions answered from the result cache without running a
+	// compile. The two are disjoint: every successfully completed
+	// submission increments exactly one of them.
+	jobsDone       *obs.Counter
+	jobsDoneCached *obs.Counter
+	jobsFailed     *obs.Counter
+	jobsCanceled   *obs.Counter
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+
+	// Pipeline-level counters, accumulated from the best-seed result of
+	// every completed compile: how much optimization work the daemon has
+	// performed, not just how many jobs it ran.
+	annealMoves    *obs.Counter
+	annealAccepted *obs.Counter
+	routeRounds    *obs.Counter
+	primalMerges   *obs.Counter
+	dualBridges    *obs.Counter
+
+	queueWait *obs.Histogram    // submit → worker pickup
+	compile   *obs.Histogram    // whole pipeline, per job
+	stages    *obs.HistogramVec // per-pipeline-stage wall-clock
 }
 
-// histBounds are the shared latency bucket upper bounds, in milliseconds.
-// The last bucket is implicit +Inf.
-var histBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg: reg,
 
-// histogram is a fixed-bucket latency histogram (milliseconds).
-type histogram struct {
-	mu     sync.Mutex
-	counts []int64 // len(histBounds)+1; last bucket is +Inf
-	sum    float64
-	n      int64
-}
+		jobsSubmitted: reg.Counter("tqecd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
+		jobsRejected:  reg.Counter("tqecd_jobs_rejected_total", "Submissions rejected because the queue was full or the service was draining."),
+		jobsQueued:    reg.Gauge("tqecd_jobs_queued", "Jobs waiting for a worker."),
+		jobsRunning:   reg.Gauge("tqecd_jobs_running", "Jobs currently compiling."),
 
-func (h *histogram) Observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := sort.SearchFloat64s(histBounds, ms)
-	h.mu.Lock()
-	if h.counts == nil {
-		h.counts = make([]int64, len(histBounds)+1)
+		jobsDone:       reg.Counter("tqecd_jobs_done_total", "Compiles that ran to completion (excludes cache replays)."),
+		jobsDoneCached: reg.Counter("tqecd_jobs_done_cached_total", "Submissions answered from the result cache without compiling."),
+		jobsFailed:     reg.Counter("tqecd_jobs_failed_total", "Jobs that ended in an error."),
+		jobsCanceled:   reg.Counter("tqecd_jobs_canceled_total", "Jobs canceled by DELETE, deadline at shutdown, or drain abort."),
+
+		cacheHits:      reg.Counter("tqecd_cache_hits_total", "Result-cache lookups that found an entry."),
+		cacheMisses:    reg.Counter("tqecd_cache_misses_total", "Result-cache lookups that found nothing."),
+		cacheEvictions: reg.Counter("tqecd_cache_evictions_total", "Result-cache entries evicted by the LRU bound."),
+
+		annealMoves:    reg.Counter("tqecd_anneal_moves_total", "Simulated-annealing moves attempted across completed compiles (best seed)."),
+		annealAccepted: reg.Counter("tqecd_anneal_accepted_total", "Simulated-annealing moves accepted across completed compiles (best seed)."),
+		routeRounds:    reg.Counter("tqecd_route_rounds_total", "PathFinder negotiation rounds across completed compiles (best seed)."),
+		primalMerges:   reg.Counter("tqecd_primal_merges_total", "Primal-bridging module merges across completed compiles (best seed)."),
+		dualBridges:    reg.Counter("tqecd_dual_bridges_total", "Dual-bridging merges across completed compiles (best seed)."),
+
+		queueWait: reg.Histogram("tqecd_queue_wait_ms", "Milliseconds between submission and worker pickup.", nil),
+		compile:   reg.Histogram("tqecd_compile_ms", "Whole-pipeline compile wall-clock, milliseconds.", nil),
+		stages:    reg.HistogramVec("tqecd_stage_ms", "Per-pipeline-stage wall-clock, milliseconds.", "stage", nil),
 	}
-	h.counts[i]++
-	h.sum += ms
-	h.n++
-	h.mu.Unlock()
 }
 
-// histSnapshot is the JSON form of a histogram.
+func (m *metrics) observeStage(name string, d time.Duration) {
+	m.stages.With(name).ObserveDuration(d)
+}
+
+// writePrometheus renders the Prometheus text exposition form.
+func (m *metrics) writePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
+}
+
+// histSnapshot is the JSON form of a histogram (non-cumulative buckets
+// keyed by upper bound, matching the format the endpoint has always
+// served; the Prometheus form is the le-cumulative one).
 type histSnapshot struct {
 	Count   int64            `json:"count"`
 	SumMS   float64          `json:"sum_ms"`
@@ -50,70 +97,34 @@ type histSnapshot struct {
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
-func (h *histogram) snapshot() histSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := histSnapshot{Count: h.n, SumMS: h.sum, Buckets: map[string]int64{}}
-	if h.n > 0 {
-		s.MeanMS = h.sum / float64(h.n)
+func jsonHist(s obs.HistSnapshot) histSnapshot {
+	out := histSnapshot{Count: s.Count, SumMS: s.Sum, Buckets: map[string]int64{}}
+	if s.Count > 0 {
+		out.MeanMS = s.Sum / float64(s.Count)
 	}
-	for i, c := range h.counts {
+	for i, c := range s.Counts {
 		if c == 0 {
 			continue
 		}
-		if i < len(histBounds) {
-			s.Buckets[formatBound(histBounds[i])] = c
+		if i < len(s.Bounds) {
+			out.Buckets[formatBound(s.Bounds[i])] = c
 		} else {
-			s.Buckets["+Inf"] = c
+			out.Buckets["+Inf"] = c
 		}
 	}
-	return s
-}
-
-// metrics is the service-wide observability surface, rendered as JSON by
-// the /metrics endpoint (stdlib-only, expvar-style).
-type metrics struct {
-	jobsSubmitted  counter
-	jobsRejected   counter // queue full
-	jobsQueued     atomic.Int64
-	jobsRunning    atomic.Int64
-	jobsDone       counter
-	jobsDoneCached counter // subset of jobsDone answered from the cache
-	jobsFailed     counter
-	jobsCanceled   counter
-
-	cacheHits      counter
-	cacheMisses    counter
-	cacheEvictions counter
-
-	queueWait histogram             // submit → worker pickup
-	compile   histogram             // whole pipeline, per job
-	stageMu   sync.Mutex            // guards stages
-	stages    map[string]*histogram // per-pipeline-stage wall-clock
-}
-
-func newMetrics() *metrics {
-	return &metrics{stages: map[string]*histogram{}}
-}
-
-func (m *metrics) observeStage(name string, d time.Duration) {
-	m.stageMu.Lock()
-	h, ok := m.stages[name]
-	if !ok {
-		h = &histogram{}
-		m.stages[name] = h
-	}
-	m.stageMu.Unlock()
-	h.Observe(d)
+	return out
 }
 
 // metricsSnapshot is the /metrics JSON document.
 type metricsSnapshot struct {
 	Jobs struct {
-		Submitted  int64 `json:"submitted"`
-		Rejected   int64 `json:"rejected"`
-		Queued     int64 `json:"queued"`
-		Running    int64 `json:"running"`
+		Submitted int64 `json:"submitted"`
+		Rejected  int64 `json:"rejected"`
+		Queued    int64 `json:"queued"`
+		Running   int64 `json:"running"`
+		// Done counts compiles that ran; DoneCached counts cache replays.
+		// The two are disjoint — a completed submission lands in exactly
+		// one of them.
 		Done       int64 `json:"done"`
 		DoneCached int64 `json:"done_cached"`
 		Failed     int64 `json:"failed"`
@@ -126,6 +137,13 @@ type metricsSnapshot struct {
 		Entries   int     `json:"entries"`
 		HitRate   float64 `json:"hit_rate"`
 	} `json:"cache"`
+	Pipeline struct {
+		AnnealMoves    int64 `json:"anneal_moves"`
+		AnnealAccepted int64 `json:"anneal_accepted"`
+		RouteRounds    int64 `json:"route_rounds"`
+		PrimalMerges   int64 `json:"primal_merges"`
+		DualBridges    int64 `json:"dual_bridges"`
+	} `json:"pipeline"`
 	QueueDepth int                     `json:"queue_depth"`
 	QueueWait  histSnapshot            `json:"queue_wait_ms"`
 	Compile    histSnapshot            `json:"compile_ms"`
@@ -136,8 +154,8 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) metricsSnapshot {
 	var s metricsSnapshot
 	s.Jobs.Submitted = m.jobsSubmitted.Value()
 	s.Jobs.Rejected = m.jobsRejected.Value()
-	s.Jobs.Queued = m.jobsQueued.Load()
-	s.Jobs.Running = m.jobsRunning.Load()
+	s.Jobs.Queued = m.jobsQueued.Value()
+	s.Jobs.Running = m.jobsRunning.Value()
 	s.Jobs.Done = m.jobsDone.Value()
 	s.Jobs.DoneCached = m.jobsDoneCached.Value()
 	s.Jobs.Failed = m.jobsFailed.Value()
@@ -149,22 +167,23 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) metricsSnapshot {
 	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
 		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
 	}
+	s.Pipeline.AnnealMoves = m.annealMoves.Value()
+	s.Pipeline.AnnealAccepted = m.annealAccepted.Value()
+	s.Pipeline.RouteRounds = m.routeRounds.Value()
+	s.Pipeline.PrimalMerges = m.primalMerges.Value()
+	s.Pipeline.DualBridges = m.dualBridges.Value()
 	s.QueueDepth = queueDepth
-	s.QueueWait = m.queueWait.snapshot()
-	s.Compile = m.compile.snapshot()
+	s.QueueWait = jsonHist(m.queueWait.Snapshot())
+	s.Compile = jsonHist(m.compile.Snapshot())
 	s.Stages = map[string]histSnapshot{}
-	m.stageMu.Lock()
-	names := make([]string, 0, len(m.stages))
-	for n := range m.stages {
+	stageSnaps := m.stages.Snapshot()
+	names := make([]string, 0, len(stageSnaps))
+	for n := range stageSnaps {
 		names = append(names, n)
 	}
-	m.stageMu.Unlock()
 	sort.Strings(names)
 	for _, n := range names {
-		m.stageMu.Lock()
-		h := m.stages[n]
-		m.stageMu.Unlock()
-		s.Stages[n] = h.snapshot()
+		s.Stages[n] = jsonHist(stageSnaps[n])
 	}
 	return s
 }

@@ -10,9 +10,12 @@
 //	POST   /v1/jobs             submit a compile (may complete instantly on cache hit)
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result payload (409 until the job is done)
+//	GET    /v1/jobs/{id}/trace  span tree of a traced job (?format=chrome for chrome://tracing)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /healthz             liveness (503 while draining)
-//	GET    /metrics             JSON counters, cache stats, latency histograms
+//	GET    /healthz             liveness (503 while draining) + version, uptime, queue depth
+//	GET    /metrics             counters, cache stats, latency histograms
+//	                            (JSON by default; Prometheus text exposition
+//	                            when the request Accepts text/plain)
 //
 // Everything is stdlib-only and deterministic for a fixed seed list: the
 // same submission always produces the same result payload, which is what
@@ -23,7 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -33,6 +36,7 @@ import (
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
 	"tqec/internal/drc"
+	"tqec/internal/obs"
 )
 
 // Config tunes the service. Zero values select defaults.
@@ -54,8 +58,9 @@ type Config struct {
 	// forgotten so a long-lived daemon does not accumulate every job it
 	// ever ran (default 512; negative retains everything).
 	MaxFinishedJobs int
-	// Logger receives structured per-job log lines (default stderr).
-	Logger *log.Logger
+	// Logger receives structured per-job log lines (default: text handler
+	// on stderr at info level, the same shape the tqec CLIs use).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -78,7 +83,11 @@ func (c Config) withDefaults() Config {
 		c.MaxFinishedJobs = 512
 	}
 	if c.Logger == nil {
-		c.Logger = log.New(os.Stderr, "tqecd ", log.LstdFlags|log.Lmicroseconds)
+		l, err := obs.NewLogger(obs.LogConfig{Writer: os.Stderr})
+		if err != nil { // unreachable with the zero config
+			panic(err)
+		}
+		c.Logger = l
 	}
 	return c
 }
@@ -113,6 +122,7 @@ type Job struct {
 	parallel int
 	timeout  time.Duration
 	noCache  bool
+	trace    bool
 
 	state           State
 	cached          bool
@@ -123,6 +133,7 @@ type Job struct {
 	started         time.Time
 	finished        time.Time
 	payload         *ResultPayload
+	tracer          *obs.Tracer // non-nil once a traced job starts running
 }
 
 // ResultPayload is the serialized outcome of a finished job — and the
@@ -151,6 +162,7 @@ type Server struct {
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
+	started    time.Time // process uptime anchor for /healthz
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -173,6 +185,7 @@ func New(cfg Config) *Server {
 		jobs:    map[string]*Job{},
 		queue:   make(chan *Job, cfg.QueueDepth),
 		compile: compress.CompileBestContext,
+		started: time.Now(),
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()
@@ -230,7 +243,7 @@ func (s *Server) Close() {
 }
 
 // newJob registers a job in the queued state. Callers hold no locks.
-func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int, timeout time.Duration, noCache bool) *Job {
+func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int, timeout time.Duration, noCache, trace bool) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -244,6 +257,7 @@ func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Optio
 		parallel:  parallel,
 		timeout:   timeout,
 		noCache:   noCache,
+		trace:     trace,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -290,16 +304,23 @@ func (s *Server) runJob(j *Job) {
 	j.started = time.Now()
 	ctx, cancel := context.WithTimeout(s.rootCtx, j.timeout)
 	j.cancel = cancel
+	// Each traced job gets its own tracer, so concurrent jobs never
+	// interleave spans; untraced jobs keep the nil fast path.
+	if j.trace {
+		j.tracer = obs.NewTracer("job:" + j.ID)
+		ctx = obs.WithTracer(ctx, j.tracer)
+	}
 	s.mu.Unlock()
 	defer cancel()
 
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
-	s.metrics.queueWait.Observe(j.started.Sub(j.submitted))
-	s.logf(j, "event=start seeds=%d effort=%d mode=%s timeout=%s",
-		len(j.seeds), j.opt.Effort, j.opt.Mode, j.timeout)
+	s.metrics.queueWait.ObserveDuration(j.started.Sub(j.submitted))
+	s.log(j, "start", "seeds", len(j.seeds), "effort", int(j.opt.Effort),
+		"mode", j.opt.Mode.String(), "timeout", j.timeout, "trace", j.trace)
 
 	res, err := s.compile(ctx, j.circ, j.opt, j.seeds, j.parallel)
+	j.tracer.Finish()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -316,26 +337,26 @@ func (s *Server) runJob(j *Job) {
 		j.state = StateCanceled
 		j.errMsg = "canceled"
 		s.metrics.jobsCanceled.Inc()
-		s.logf(j, "event=canceled run_ms=%.1f", ms(runDur))
+		s.log(j, "canceled", "run_ms", ms(runDur))
 	case err != nil && errors.Is(err, context.Canceled) && s.rootCtx.Err() != nil:
 		// Aborted by Close or an expired Shutdown drain, not by the job's
 		// own deadline or a DELETE.
 		j.state = StateCanceled
 		j.errMsg = "canceled: server shutting down"
 		s.metrics.jobsCanceled.Inc()
-		s.logf(j, "event=canceled while=draining run_ms=%.1f", ms(runDur))
+		s.log(j, "canceled", "while", "draining", "run_ms", ms(runDur))
 	case err != nil:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.metrics.jobsFailed.Inc()
-		s.logf(j, "event=failed run_ms=%.1f err=%q", ms(runDur), j.errMsg)
+		s.log(j, "failed", "run_ms", ms(runDur), "err", j.errMsg)
 	case j.cancelRequested && interrupted:
 		// The cancel landed after some seeds had already succeeded; honor
 		// the DELETE rather than reporting the partial sweep as done.
 		j.state = StateCanceled
 		j.errMsg = "canceled"
 		s.metrics.jobsCanceled.Inc()
-		s.logf(j, "event=canceled run_ms=%.1f partial_seeds=%d", ms(runDur), res.SeedsTried-len(res.SeedErrors))
+		s.log(j, "canceled", "run_ms", ms(runDur), "partial_seeds", res.SeedsTried-len(res.SeedErrors))
 	default:
 		j.state = StateDone
 		j.payload = s.buildPayload(j, res)
@@ -343,14 +364,34 @@ func (s *Server) runJob(j *Job) {
 			s.cache.Put(j.Key, j.payload)
 		}
 		s.metrics.jobsDone.Inc()
-		s.metrics.compile.Observe(runDur)
+		s.metrics.compile.ObserveDuration(runDur)
 		for _, st := range res.StageTimes {
 			s.metrics.observeStage(st.Stage, st.Duration)
 		}
-		s.logf(j, "event=done run_ms=%.1f volume=%d placed=%d seeds_failed=%d partial=%t",
-			ms(runDur), res.Volume, res.PlacedVolume, len(res.SeedErrors), interrupted)
+		s.recordPipeline(res)
+		s.log(j, "done", "run_ms", ms(runDur), "volume", res.Volume, "placed", res.PlacedVolume,
+			"seeds_failed", len(res.SeedErrors), "partial", interrupted)
 	}
 	s.finishLocked(j)
+}
+
+// recordPipeline folds the best-seed result of a completed compile into
+// the pipeline-level counters: how much optimization work the daemon has
+// performed, not just how many jobs it ran.
+func (s *Server) recordPipeline(res *compress.Result) {
+	if res.Placement != nil {
+		s.metrics.annealMoves.Add(int64(res.Placement.SA.Moves))
+		s.metrics.annealAccepted.Add(int64(res.Placement.SA.Accepted))
+	}
+	if res.Routing != nil {
+		s.metrics.routeRounds.Add(int64(res.Routing.Iters))
+	}
+	if merges := res.NumModules - res.NumNodes; merges > 0 {
+		s.metrics.primalMerges.Add(int64(merges))
+	}
+	if res.Dual != nil {
+		s.metrics.dualBridges.Add(int64(res.Dual.NumBridges()))
+	}
 }
 
 // seedsInterrupted reports whether any per-seed failure was the context
@@ -408,14 +449,14 @@ func (s *Server) cancelJob(j *Job) (State, bool) {
 		j.finished = time.Now()
 		s.metrics.jobsCanceled.Inc()
 		s.finishLocked(j)
-		s.logf(j, "event=canceled while=queued")
+		s.log(j, "canceled", "while", "queued")
 		return StateCanceled, true
 	case StateRunning:
 		j.cancelRequested = true
 		if j.cancel != nil {
 			j.cancel()
 		}
-		s.logf(j, "event=cancel-requested while=running")
+		s.log(j, "cancel-requested", "while", "running")
 		return StateRunning, true
 	default:
 		return j.state, false
@@ -430,9 +471,10 @@ func (s *Server) jobByID(id string) (*Job, bool) {
 	return j, ok
 }
 
-// logf emits one structured per-job log line.
-func (s *Server) logf(j *Job, format string, args ...any) {
-	s.cfg.Logger.Printf("job=%s name=%q %s", j.ID, j.Name, fmt.Sprintf(format, args...))
+// log emits one structured per-job log line; every line carries the job
+// ID and name so a grep for job=j000042 reconstructs that job's history.
+func (s *Server) log(j *Job, event string, attrs ...any) {
+	s.cfg.Logger.Info(event, append([]any{"job", j.ID, "name", j.Name}, attrs...)...)
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

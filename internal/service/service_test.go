@@ -6,12 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"tqec/internal/obs"
 )
 
 func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
@@ -25,7 +26,7 @@ func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	if cfg.Logger == nil {
-		cfg.Logger = log.New(io.Discard, "", 0)
+		cfg.Logger = obs.NopLogger()
 	}
 	svc := New(cfg)
 	ts := httptest.NewServer(svc.Handler())
@@ -168,8 +169,9 @@ func TestCacheHitOnIdenticalSubmission(t *testing.T) {
 	if m.Compile.Count != 1 {
 		t.Fatalf("compile histogram count = %d, want 1 (second job must not re-run)", m.Compile.Count)
 	}
-	if m.Jobs.Done != 2 {
-		t.Fatalf("jobs done = %d, want 2", m.Jobs.Done)
+	// done and done_cached are disjoint: one compile ran, one replayed.
+	if m.Jobs.Done != 1 {
+		t.Fatalf("jobs done = %d, want 1 (cache replays count only in done_cached)", m.Jobs.Done)
 	}
 	if m.Jobs.DoneCached != 1 {
 		t.Fatalf("jobs done_cached = %d, want 1", m.Jobs.DoneCached)
@@ -272,9 +274,18 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 
 func TestHealthzAndMetricsShape(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	var h map[string]string
-	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", code, h)
+	var h HealthStatus
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, h)
+	}
+	if h.Version == "" {
+		t.Fatal("healthz missing version")
+	}
+	if h.UptimeMS < 0 {
+		t.Fatalf("healthz uptime_ms = %f, want >= 0", h.UptimeMS)
+	}
+	if h.QueueDepth != 0 {
+		t.Fatalf("healthz queue_depth = %d, want 0 on an idle server", h.QueueDepth)
 	}
 	var m metricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
@@ -282,4 +293,173 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "%+v", m) // snapshot must be serializable both ways
+}
+
+// TestMetricsPrometheusExposition drives a compile and then scrapes
+// /metrics the way Prometheus would: Accept: text/plain must switch the
+// endpoint from JSON to the text exposition format, with well-formed
+// TYPE headers and le-cumulative bucket series.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, _ := postJob(t, ts, `{"source":{"sample":"threecnot"}}`)
+	if st = waitState(t, ts, st.ID, 30*time.Second); st.State != StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain", ct)
+	}
+	for _, want := range []string{
+		"# TYPE tqecd_jobs_submitted_total counter",
+		"# TYPE tqecd_jobs_running gauge",
+		"# TYPE tqecd_compile_ms histogram",
+		"# TYPE tqecd_stage_ms histogram",
+		"tqecd_jobs_submitted_total 1",
+		"tqecd_jobs_done_total 1",
+		`tqecd_compile_ms_bucket{le="+Inf"} 1`,
+		"tqecd_compile_ms_count 1",
+		`tqecd_stage_ms_count{stage="place"} 1`,
+		"tqecd_anneal_moves_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Cumulative bucket monotonicity for the compile histogram.
+	prev := int64(-1)
+	buckets := 0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "tqecd_compile_ms_bucket{") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series not cumulative at %q", line)
+		}
+		prev = v
+		buckets++
+	}
+	if buckets == 0 {
+		t.Fatal("no compile_ms bucket lines")
+	}
+
+	// Without the Accept header the endpoint still answers JSON.
+	var m metricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK || m.Jobs.Submitted != 1 {
+		t.Fatalf("JSON metrics: code %d, submitted %d", code, m.Jobs.Submitted)
+	}
+	if m.Pipeline.AnnealMoves < 0 || m.Pipeline.DualBridges < 0 {
+		t.Fatal("pipeline counters missing from JSON snapshot")
+	}
+}
+
+// TestDoneCountersDisjoint pins the jobs.done / jobs.done_cached
+// relationship: a completed submission increments exactly one of them,
+// so done + done_cached equals the number of successfully answered
+// submissions.
+func TestDoneCountersDisjoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"source":{"sample":"threecnot"}}`
+	first, _ := postJob(t, ts, body)
+	if st := waitState(t, ts, first.ID, 30*time.Second); st.State != StateDone {
+		t.Fatalf("first job: %s", st.State)
+	}
+	for i := 0; i < 2; i++ { // two cache replays
+		st, code := postJob(t, ts, body)
+		if code != http.StatusOK || !st.Cached {
+			t.Fatalf("replay %d: http %d cached=%t", i, code, st.Cached)
+		}
+	}
+	var m metricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: http %d", code)
+	}
+	if m.Jobs.Done != 1 || m.Jobs.DoneCached != 2 {
+		t.Fatalf("done/done_cached = %d/%d, want 1/2 (disjoint)", m.Jobs.Done, m.Jobs.DoneCached)
+	}
+	if m.Jobs.Done+m.Jobs.DoneCached != m.Jobs.Submitted {
+		t.Fatalf("done %d + done_cached %d != submitted %d",
+			m.Jobs.Done, m.Jobs.DoneCached, m.Jobs.Submitted)
+	}
+}
+
+// TestTraceEndpoint submits a traced job and fetches its span tree in
+// both formats.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// An untraced job has no trace to serve.
+	plain, _ := postJob(t, ts, `{"source":{"sample":"threecnot"}}`)
+	waitState(t, ts, plain.ID, 30*time.Second)
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+plain.ID+"/trace", nil); code != http.StatusNotFound {
+		t.Fatalf("trace of untraced job: http %d, want 404", code)
+	}
+
+	// A traced job must compile (no cache fast path) and record spans.
+	traced, code := postJob(t, ts, `{"source":{"sample":"threecnot"},"trace":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("traced submit: http %d, want 202 (the cache must not answer traced jobs)", code)
+	}
+	if st := waitState(t, ts, traced.ID, 30*time.Second); st.State != StateDone {
+		t.Fatalf("traced job: %s (%s)", st.State, st.Error)
+	}
+
+	var tree struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+traced.ID+"/trace", &tree); code != http.StatusOK {
+		t.Fatalf("trace: http %d", code)
+	}
+	if tree.Name != "job:"+traced.ID {
+		t.Fatalf("trace root = %q, want job:%s", tree.Name, traced.ID)
+	}
+	if len(tree.Children) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	stages := map[string]bool{}
+	for _, c := range tree.Children {
+		stages[c.Name] = true
+	}
+	// CompileBest wraps each restart in a seed span.
+	if !stages["seed-1"] {
+		t.Fatalf("trace missing seed span: %v", stages)
+	}
+
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+traced.ID+"/trace?format=chrome", &events); code != http.StatusOK {
+		t.Fatalf("chrome trace: http %d", code)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Fatalf("chrome event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"pdgraph", "place", "route"} {
+		if !seen[want] {
+			t.Fatalf("chrome trace missing stage %q (got %v)", want, seen)
+		}
+	}
 }
