@@ -30,6 +30,9 @@ func main() {
 		jsonOut     = flag.String("json", "", "also write a machine-readable report to this file")
 		effortCurve = flag.String("effort-curve", "", "also run the quality-vs-budget curve on this benchmark")
 		tag         = flag.String("tag", "", "also run a timing trajectory and write it to BENCH_<tag>.json (CI artifact)")
+		compareTo   = flag.String("compare", "", "re-run the trajectory of this baseline file (BENCH_seed.json) and report per-stage time and volume deltas")
+		tolerance   = flag.Float64("tolerance", bench.DefaultCompareTolerance, "relative slack for -compare before a delta counts as a regression")
+		strict      = flag.Bool("compare-strict", false, "exit nonzero when -compare finds regressions (default: warn only)")
 	)
 	flag.Parse()
 
@@ -123,6 +126,48 @@ func main() {
 		fail(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+	if *compareTo != "" {
+		fail(runCompare(*compareTo, *tolerance, *strict))
+	}
+}
+
+// runCompare replays the baseline trajectory's exact configuration —
+// its seed, effort, routing mode, and benchmark set, NOT this
+// invocation's flags — and prints the delta report. With strict unset
+// the report is informational (the CI step is warn-only: final volume
+// depends on the run-to-run nondeterministic router).
+func runCompare(path string, tolerance float64, strict bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	base, err := bench.ReadTrajectory(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	eff, ok := bench.EffortByName(base.Effort)
+	if !ok {
+		return fmt.Errorf("%s: unknown effort %q", path, base.Effort)
+	}
+	specs := make([]bench.Spec, 0, len(base.Entries))
+	for _, e := range base.Entries {
+		spec, ok := bench.ByName(e.Name)
+		if !ok {
+			return fmt.Errorf("%s: unknown benchmark %q", path, e.Name)
+		}
+		specs = append(specs, spec)
+	}
+	cur, err := bench.RunTrajectory("current", specs, base.Seed, eff, base.SkipRouting)
+	if err != nil {
+		return err
+	}
+	cmp := bench.Compare(base, cur, tolerance)
+	fmt.Print(bench.FormatComparison(cmp))
+	if strict && cmp.Regressions > 0 {
+		return fmt.Errorf("%d regression(s) against %s", cmp.Regressions, path)
+	}
+	return nil
 }
 
 func fail(err error) {

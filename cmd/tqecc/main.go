@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"tqec/internal/bench"
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
+	"tqec/internal/journal"
 	"tqec/internal/obs"
 	"tqec/internal/revlib"
 )
@@ -41,6 +43,8 @@ func main() {
 		jsonOut     = flag.String("json", "", "write a machine-readable result report to this file")
 		timeout     = flag.Duration("timeout", 0, "abort the compile after this long (0 = no deadline)")
 		traceOut    = flag.String("trace", "", "record a pipeline trace and write it to this file in Chrome trace_event format (chrome://tracing, Perfetto)")
+		explain     = flag.Bool("explain", false, "print the compression journal: the per-stage volume waterfall, anneal/route trajectories, and warnings")
+		explainJSON = flag.String("explain-json", "", "write the compression journal as JSON to this file (implies journaling)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address while compiling (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -97,6 +101,9 @@ func main() {
 		tracer = obs.NewTracer("tqecc:" + c.Name)
 		ctx = obs.WithTracer(ctx, tracer)
 	}
+	if *explain || *explainJSON != "" {
+		ctx = journal.WithRecorder(ctx, journal.NewRecorder(0))
+	}
 	res, err := compress.CompileContext(ctx, c, opt)
 	tracer.Finish()
 	if *traceOut != "" {
@@ -132,6 +139,29 @@ func main() {
 	fmt.Printf("%s\n", audit)
 	if res.DRC != nil {
 		fmt.Print(res.DRC.String())
+	}
+	if *explain {
+		fmt.Println()
+		fmt.Print(journal.FormatExplain(res.Journal))
+	}
+	if *explainJSON != "" {
+		f, err := os.Create(*explainJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqecc:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Journal); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "tqecc:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tqecc:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *explainJSON)
 	}
 	if *viz && res.Geometry != nil {
 		fmt.Println()

@@ -15,6 +15,8 @@
 // Observability:
 //
 //	curl -s -H 'Accept: text/plain' localhost:8142/metrics   # Prometheus exposition
+//	curl -N localhost:8142/v1/jobs/j000001/events            # live SSE journal stream
+//	curl -s localhost:8142/v1/jobs/j000001/journal           # finished-job journal
 //	tqecd -debug-addr localhost:6060                         # net/http/pprof
 //	tqecd -log-level debug -log-format json                  # structured logs
 //
@@ -46,6 +48,7 @@ func main() {
 		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the request sets none")
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on requested per-job deadlines")
 		retain     = flag.Int("retain", 512, "finished jobs kept queryable before the oldest are forgotten (-1 keeps all)")
+		journalEvs = flag.Int("journal-events", 0, "per-job flight-recorder ring-buffer capacity for /v1/jobs/{id}/events (0 = default 4096, -1 disables journaling)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight compiles")
 		logLevel   = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logFormat  = flag.String("log-format", "text", "log format: text | json")
@@ -75,6 +78,7 @@ func main() {
 		DefaultTimeout:  *defTimeout,
 		MaxTimeout:      *maxTimeout,
 		MaxFinishedJobs: *retain,
+		JournalEvents:   *journalEvs,
 		Logger:          logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"tqec/internal/journal"
 	"tqec/internal/obs"
 )
 
@@ -104,22 +105,41 @@ func RunContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 	res := Result{InitialCost: cur, BestCost: cur}
 	best := p.Snapshot()
 	parent := obs.FromContext(ctx)
+	jr := journal.FromContext(ctx)
+	observing := parent != nil || jr != nil
 
-	// endEpoch stamps the finished (or interrupted) epoch span with its
-	// move accounting; a nil span makes all of this a no-op.
+	// endEpoch stamps the finished (or interrupted) epoch with its move
+	// accounting — span attributes for the tracer and a progress
+	// heartbeat for the flight recorder (the temperature/acceptance-rate
+	// trajectory, and the live-progress signal tqecd streams over SSE).
+	// With neither observer installed all of this is skipped.
 	var epochSpan *obs.Span
+	epochOpen := false
+	epochIdx := 0
+	epochTemp := 0.0
 	epochMoves, epochAccepted := 0, 0
 	endEpoch := func() {
-		if epochSpan == nil {
+		if !epochOpen {
 			return
 		}
+		epochOpen = false
 		moves := res.Moves - epochMoves
 		accepted := res.Accepted - epochAccepted
-		epochSpan.SetAttr("moves", moves)
-		epochSpan.SetAttr("accepted", accepted)
-		epochSpan.SetAttr("rejected", moves-accepted)
-		epochSpan.End()
-		epochSpan = nil
+		if epochSpan != nil {
+			epochSpan.SetAttr("moves", moves)
+			epochSpan.SetAttr("accepted", accepted)
+			epochSpan.SetAttr("rejected", moves-accepted)
+			epochSpan.End()
+			epochSpan = nil
+		}
+		if jr != nil {
+			jr.Progress("anneal-epoch", map[string]float64{
+				"epoch":    float64(epochIdx),
+				"temp":     epochTemp,
+				"moves":    float64(moves),
+				"accepted": float64(accepted),
+			})
+		}
 	}
 
 	var err error
@@ -128,10 +148,15 @@ anneal:
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		if parent != nil {
+		if observing {
+			epochOpen = true
+			epochIdx++
+			epochTemp = temp
 			epochMoves, epochAccepted = res.Moves, res.Accepted
-			epochSpan = parent.StartChild("anneal-epoch")
-			epochSpan.SetAttr("temp", temp)
+			if parent != nil {
+				epochSpan = parent.StartChild("anneal-epoch")
+				epochSpan.SetAttr("temp", temp)
+			}
 		}
 		for i := 0; i < opt.MovesPerTemp && res.Moves < opt.MaxMoves; i++ {
 			undo := p.Perturb(rng)

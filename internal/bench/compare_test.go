@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func trajFixture(tag string) Trajectory {
+	return Trajectory{
+		Tag: tag, Seed: 1, Effort: "fast",
+		Entries: []TrajectoryEntry{
+			{Name: "a", PlacedVolume: 100, Volume: 150, TotalMS: 100,
+				Stages: []StageMS{{Stage: "place", MS: 60}, {Stage: "route", MS: 40}}},
+			{Name: "b", PlacedVolume: 50, Volume: 80, TotalMS: 2,
+				Stages: []StageMS{{Stage: "place", MS: 2}}},
+		},
+	}
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	base := trajFixture("seed")
+	cur := trajFixture("pr")
+	// Nudge everything inside the 25% band.
+	cur.Entries[0].Volume = 160      // +6.7%
+	cur.Entries[0].TotalMS = 115     // +15%
+	cur.Entries[0].Stages[1].MS = 45 // +12.5%
+	c := Compare(base, cur, 0.25)
+	if c.Regressions != 0 {
+		t.Fatalf("expected clean compare, got %d regressions: %+v", c.Regressions, c.Entries)
+	}
+	out := FormatComparison(c)
+	if !strings.Contains(out, "no regressions") {
+		t.Fatalf("format missing clean verdict:\n%s", out)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := trajFixture("seed")
+	cur := trajFixture("pr")
+	cur.Entries[0].PlacedVolume = 101    // exact-match breach
+	cur.Entries[0].Volume = 200          // +33% volume
+	cur.Entries[0].TotalMS = 140         // +40% time
+	cur.Entries[0].Stages[0].MS = 90     // +50% stage time
+	cur.Entries[1].Stages[0].MS = 100000 // sub-floor baseline: never flagged
+	cur.Entries[1].TotalMS = 100000      // sub-floor baseline: never flagged
+	c := Compare(base, cur, 0.25)
+	if c.Regressions != 4 {
+		t.Fatalf("got %d regressions, want 4: %+v", c.Regressions, c.Entries)
+	}
+	out := FormatComparison(c)
+	for _, want := range []string{"placed volume 100 -> 101", "final volume 150 -> 200",
+		"total time 100.0ms -> 140.0ms", "stage place 60.0ms -> 90.0ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := trajFixture("seed")
+	cur := trajFixture("pr")
+	cur.Entries = cur.Entries[:1]
+	c := Compare(base, cur, 0)
+	if c.Regressions != 1 {
+		t.Fatalf("got %d regressions, want 1 for the missing benchmark", c.Regressions)
+	}
+	if !c.Entries[1].Missing {
+		t.Fatalf("entry b not marked missing: %+v", c.Entries[1])
+	}
+	if c.Tolerance != DefaultCompareTolerance {
+		t.Fatalf("zero tolerance not defaulted: %v", c.Tolerance)
+	}
+}
+
+func TestEffortByName(t *testing.T) {
+	for name, want := range map[string]bool{"": true, "fast": true, "normal": true, "high": true, "bogus": false} {
+		if _, ok := EffortByName(name); ok != want {
+			t.Fatalf("EffortByName(%q) ok=%v, want %v", name, ok, want)
+		}
+	}
+}

@@ -32,21 +32,25 @@ type TrajectoryEntry struct {
 // (BENCH_<tag>.json): one entry per benchmark, tagged so runs can be
 // compared across commits.
 type Trajectory struct {
-	Tag     string            `json:"tag"`
-	Version string            `json:"version"`
-	Seed    int64             `json:"seed"`
-	Effort  string            `json:"effort"`
-	Entries []TrajectoryEntry `json:"entries"`
+	Tag     string `json:"tag"`
+	Version string `json:"version"`
+	Seed    int64  `json:"seed"`
+	Effort  string `json:"effort"`
+	// SkipRouting records whether the run stopped after placement, so a
+	// compare run can replay the same configuration.
+	SkipRouting bool              `json:"skip_routing,omitempty"`
+	Entries     []TrajectoryEntry `json:"entries"`
 }
 
 // RunTrajectory compiles every spec once in full mode and collects the
 // per-stage timings from Result.StageTimes.
 func RunTrajectory(tag string, specs []Spec, seed int64, effort compress.Effort, skipRouting bool) (Trajectory, error) {
 	traj := Trajectory{
-		Tag:     tag,
-		Version: obs.Version(),
-		Seed:    seed,
-		Effort:  effortName(effort),
+		Tag:         tag,
+		Version:     obs.Version(),
+		Seed:        seed,
+		Effort:      effortName(effort),
+		SkipRouting: skipRouting,
 	}
 	for _, s := range specs {
 		rep, c, err := s.GenerateICM(seed)

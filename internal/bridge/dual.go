@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"tqec/internal/journal"
 	"tqec/internal/obs"
 	"tqec/internal/simplify"
 )
@@ -76,6 +77,7 @@ func DualContext(ctx context.Context, r *simplify.Result) *DualResult {
 		d.members[i] = []int{i}
 	}
 	parent := obs.FromContext(ctx)
+	jr := journal.FromContext(ctx)
 	for pass, changed := 0, true; changed; pass++ {
 		changed = false
 		var passSpan *obs.Span
@@ -97,6 +99,12 @@ func DualContext(ctx context.Context, r *simplify.Result) *DualResult {
 		if passSpan != nil {
 			passSpan.SetAttr("merges", len(d.Bridges)-merged)
 			passSpan.End()
+		}
+		if jr != nil {
+			jr.Progress("dual-pass", map[string]float64{
+				"pass":   float64(pass + 1),
+				"merges": float64(len(d.Bridges) - merged),
+			})
 		}
 	}
 	return d

@@ -24,6 +24,7 @@ import (
 	"tqec/internal/drc"
 	"tqec/internal/geom"
 	"tqec/internal/icm"
+	"tqec/internal/journal"
 	"tqec/internal/obs"
 	"tqec/internal/pdgraph"
 	"tqec/internal/place"
@@ -170,6 +171,13 @@ type Result struct {
 	// per-stage latency histograms.
 	StageTimes []StageTime
 
+	// Journal is the compression flight-recorder document: the per-stage
+	// volume waterfall, hot-loop trajectories, and warnings. Populated
+	// only when a journal.Recorder was installed in the compile's context
+	// (tqecc -explain, tqecd jobs); nil otherwise, and an unjournaled run
+	// is bit-identical to a journaled one.
+	Journal *journal.Journal
+
 	// Seed-restart accounting, populated by CompileBest: how many seeds
 	// ran and, when some (but not all) failed, which ones and why.
 	SeedsTried int
@@ -216,6 +224,21 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	if start.IsZero() {
 		start = time.Now()
 	}
+	// Journaling: when the context carries a flight recorder, every stage
+	// emits started/done events (the latter with its volume-waterfall
+	// entry) and the hot loops add progress heartbeats. The recorder view
+	// is stamped with this compile's seed so the parallel restarts of a
+	// multi-seed sweep stay attributable on the shared live feed. With no
+	// recorder, jr is nil and every call is a nil no-op.
+	jr := journal.FromContext(ctx)
+	if jr != nil {
+		jr = jr.WithSeed(opt.Seed)
+		ctx = journal.WithRecorder(ctx, jr)
+	}
+	// canonical.Volume is the pure closed form the waterfall starts from.
+	canonVol := canonical.Volume(rep)
+	curVol := canonVol
+	var waterfall []journal.StageEntry
 	stageStart := time.Now()
 	var stages []StageTime
 	// Tracing: every executed stage becomes a span under the context's
@@ -228,6 +251,7 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	root := obs.FromContext(ctx)
 	var stageSpan *obs.Span
 	begin := func(stage string) context.Context {
+		jr.StageStarted(stage)
 		stageStart = time.Now()
 		if root == nil {
 			return ctx
@@ -239,6 +263,27 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		stages = append(stages, StageTime{Stage: stage, Duration: time.Since(stageStart)})
 		stageSpan.End()
 		stageSpan = nil
+	}
+	// jrecord appends the just-marked stage's waterfall entry: volume
+	// telescopes from the canonical closed form through the placed and
+	// routed volumes (stages whose effect is realized later carry a zero
+	// delta plus the mechanism counts that earn it), so the deltas sum
+	// exactly from CanonicalVolume to the final Volume.
+	jrecord := func(stage string, after int, mech map[string]int) {
+		if jr == nil {
+			return
+		}
+		e := journal.StageEntry{
+			Stage:        stage,
+			VolumeBefore: curVol,
+			VolumeAfter:  after,
+			Delta:        after - curVol,
+			Mechanisms:   mech,
+			DurationMS:   float64(stages[len(stages)-1].Duration) / float64(time.Millisecond),
+		}
+		waterfall = append(waterfall, e)
+		jr.StageDone(e)
+		curVol = after
 	}
 	// In -drc mode the artifact set grows as stages complete and the
 	// checker runs at every stage transition (stage rules see exactly the
@@ -275,6 +320,7 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	stageSpan.SetAttr("modules", g.NumModules())
 	stageSpan.SetAttr("nets", len(g.Nets))
 	mark("pdgraph")
+	jrecord("pdgraph", curVol, map[string]int{"modules": g.NumModules(), "nets": len(g.Nets)})
 	check(drc.StagePDGraph)
 
 	var s *simplify.Result
@@ -283,6 +329,7 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		s = simplify.Run(g, simplify.Options{MeasurementSide: opt.MeasurementSideIShape})
 		stageSpan.SetAttr("merges", s.NumMerges())
 		mark("simplify")
+		jrecord("simplify", curVol, map[string]int{"ishape_merges": s.NumMerges()})
 	} else {
 		// I-shaped simplification is off outside Full mode; the stage is
 		// skipped entirely and therefore absent from StageTimes.
@@ -308,6 +355,19 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	art.Primal = p
 	stageSpan.SetAttr("nodes", p.NumNodes())
 	mark("primal-bridge")
+	if jr != nil {
+		flipped := 0
+		for _, ch := range p.Chains {
+			if len(ch) > 1 {
+				flipped++
+			}
+		}
+		jrecord("primal-bridge", curVol, map[string]int{
+			"chains":         p.NumNodes(),
+			"flipped_chains": flipped,
+			"flip_merges":    g.NumModules() - p.NumNodes(),
+		})
+	}
 	check(drc.StagePrimal)
 
 	dualCtx := begin("dual-bridge")
@@ -321,6 +381,10 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	stageSpan.SetAttr("components", d.NumComponents())
 	stageSpan.SetAttr("bridges", d.NumBridges())
 	mark("dual-bridge")
+	jrecord("dual-bridge", curVol, map[string]int{
+		"bridges":    d.NumBridges(),
+		"components": d.NumComponents(),
+	})
 	check(drc.StageDual)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("compress: %w", err)
@@ -366,7 +430,7 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		Primal:          p,
 		Dual:            d,
 		Placement:       pl,
-		CanonicalVolume: canonical.Volume(rep),
+		CanonicalVolume: canonVol,
 		NumModules:      g.NumModules(),
 		NumNodes:        p.NumNodes(),
 		IShapeMerges:    s.NumMerges(),
@@ -374,6 +438,10 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 	}
 	res.PlacedVolume = contentVolume(pl)
 	res.Volume = res.PlacedVolume
+	jrecord("place", res.PlacedVolume, map[string]int{
+		"moves":    pl.SA.Moves,
+		"accepted": pl.SA.Accepted,
+	})
 
 	if !opt.SkipRouting {
 		routeCtx := begin("route")
@@ -396,6 +464,24 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		stageSpan.SetAttr("wirelength", rr.Wirelength)
 		stageSpan.SetAttr("overflow", rr.Overflow)
 		mark("route")
+		jrecord("route", res.Volume, map[string]int{
+			"rounds":     rr.Iters,
+			"wirelength": rr.Wirelength,
+			"overflow":   rr.Overflow,
+			"failed":     len(rr.Failed),
+			"squeezed":   rr.Squeezed,
+		})
+		if jr != nil {
+			if rr.Overflow > 0 {
+				jr.Warn("route-overflow", fmt.Sprintf("%d cells still shared after negotiation", rr.Overflow))
+			}
+			if len(rr.Failed) > 0 {
+				jr.Warn("route-failed", fmt.Sprintf("%d nets failed to route", len(rr.Failed)))
+			}
+			if rr.Squeezed > 0 {
+				jr.Warn("route-squeezed", fmt.Sprintf("%d route cells cross distillation-box walls", rr.Squeezed))
+			}
+		}
 	}
 	// The last two transitions also run when their stage was skipped, so
 	// the report records the route/geometry rules as not checked.
@@ -405,12 +491,29 @@ func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Optio
 		res.Geometry = realize(res)
 		art.Geometry = res.Geometry
 		mark("geometry")
+		jrecord("geometry", curVol, nil)
 	}
 	check(drc.StageGeometry)
 	res.DRC = drcRep
 	res.DRCArtifacts = art
 	res.StageTimes = stages
 	res.Runtime = time.Since(start)
+	if jr != nil {
+		// The audit is a pure read over the finished result; it runs here
+		// only to surface its anomalies as journal warnings.
+		audit := res.AuditSchedule()
+		if audit.Unresolved > 0 {
+			jr.Warn("audit-unresolved", fmt.Sprintf("%d rails unresolved; schedule audit coverage incomplete", audit.Unresolved))
+		}
+		if !audit.Satisfied() {
+			jr.Warn("audit-violated", fmt.Sprintf("%d measurement-ordering constraints violated", audit.Violations))
+		}
+		doc := jr.BuildDoc(name)
+		doc.CanonicalVolume = canonVol
+		doc.FinalVolume = res.Volume
+		doc.Stages = waterfall
+		res.Journal = doc
+	}
 	return res, nil
 }
 

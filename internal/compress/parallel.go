@@ -11,6 +11,7 @@ import (
 
 	"tqec/internal/circuit"
 	"tqec/internal/icm"
+	"tqec/internal/journal"
 	"tqec/internal/obs"
 )
 
@@ -155,6 +156,17 @@ func bestOf(ctx context.Context, seeds []int64, parallel int, run func(context.C
 		return nil, &AllSeedsFailedError{Seeds: failed}
 	}
 	sort.Slice(failed, func(a, b int) bool { return failed[a].Seed < failed[b].Seed })
+	// Partial seed failures are surfaced on the flight recorder (stamped
+	// with the failing seed) and folded into the winning restart's
+	// journal document, so -explain and the SSE feed both show them.
+	jr := journal.FromContext(ctx)
+	for _, se := range failed {
+		jr.WithSeed(se.Seed).Warn("seed-failed", se.Err.Error())
+		if best.Journal != nil {
+			best.Journal.Warnings = append(best.Journal.Warnings,
+				journal.Warning{Code: "seed-failed", Message: se.Err.Error(), Seed: se.Seed})
+		}
+	}
 	best.SeedsTried = len(seeds)
 	best.SeedErrors = failed
 	return best, nil

@@ -1,0 +1,320 @@
+// Package journal is the compression flight recorder: a structured,
+// append-only event journal carried through context.Context that records
+// what every pipeline stage did to the circuit volume and why — stage
+// transitions with a volume-waterfall entry, hot-loop progress heartbeats
+// (annealing epochs, routing negotiation rounds, dual-bridging passes),
+// and warnings (squeezed routes, unresolved audits, failed seeds).
+//
+// Like the obs tracer, the package is stdlib-only and built around a nil
+// fast path: when no recorder has been installed in the context, every
+// call site reduces to a nil check and the unjournaled pipeline is
+// bit-identical in output. Recording must never consume randomness or
+// otherwise perturb the algorithmic state it observes.
+//
+// The recorder is also a live feed: subscribers receive a replay of the
+// buffered events followed by a tail of new ones, which is what the tqecd
+// Server-Sent-Events endpoint streams while a job runs. The buffer is a
+// bounded ring — a runaway compile cannot hold the daemon's memory
+// hostage — and dropped-event counts are reported rather than hidden.
+package journal
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Type classifies a journal event.
+type Type string
+
+// Event types.
+const (
+	// TypeStageStarted marks a pipeline stage beginning.
+	TypeStageStarted Type = "stage-started"
+	// TypeStageDone carries the stage's volume-waterfall entry.
+	TypeStageDone Type = "stage-done"
+	// TypeProgress is a hot-loop heartbeat (anneal-epoch, route-round,
+	// dual-pass), with numeric detail in Fields.
+	TypeProgress Type = "progress"
+	// TypeWarning flags a condition worth surfacing (squeezed routes,
+	// unresolved audits, failed seeds).
+	TypeWarning Type = "warning"
+	// TypeJobState is a job-lifecycle marker emitted by the compile
+	// service (running, done, failed, canceled).
+	TypeJobState Type = "job-state"
+)
+
+// Event is one journal record. Exactly one payload group is populated,
+// selected by Type; unused fields are omitted from the JSON form.
+type Event struct {
+	// Seq is the 1-based emission index; it keeps counting even when the
+	// ring buffer drops old events, so gaps are detectable.
+	Seq int64 `json:"seq"`
+	// TMS is milliseconds since the recorder started.
+	TMS  float64 `json:"t_ms"`
+	Type Type    `json:"type"`
+	// Seed tags events from a multi-seed sweep with the restart that
+	// emitted them (0 when the emitting scope was never seed-stamped).
+	Seed int64 `json:"seed,omitempty"`
+	// Stage names the pipeline stage (stage-started/stage-done) or the
+	// heartbeat kind (progress: anneal-epoch, route-round, dual-pass).
+	Stage string `json:"stage,omitempty"`
+
+	// stage-done payload: the volume-waterfall entry.
+	VolumeBefore int            `json:"volume_before,omitempty"`
+	VolumeAfter  int            `json:"volume_after,omitempty"`
+	Delta        int            `json:"delta,omitempty"`
+	Mechanisms   map[string]int `json:"mechanisms,omitempty"`
+	DurationMS   float64        `json:"duration_ms,omitempty"`
+
+	// progress payload: numeric detail (temperatures, counts).
+	Fields map[string]float64 `json:"fields,omitempty"`
+
+	// warning / job-state payload.
+	Code    string `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// DefaultMaxEvents bounds the ring buffer when NewRecorder is given no
+// explicit capacity.
+const DefaultMaxEvents = 4096
+
+// subBuffer is the per-subscriber channel depth; a subscriber that falls
+// further behind than this loses events (counted per subscriber) rather
+// than blocking the pipeline.
+const subBuffer = 1024
+
+// core is the shared state behind every seed-stamped view of a recorder.
+type core struct {
+	mu      sync.Mutex
+	start   time.Time
+	seq     int64
+	max     int
+	head    int // ring start index within events
+	events  []Event
+	dropped int64
+	subs    map[int]*subscriber
+	nextSub int
+	closed  bool
+}
+
+type subscriber struct {
+	ch      chan Event
+	dropped int64
+}
+
+// Recorder is one journal, safe for concurrent use. The zero/nil value
+// is inert: every method on a nil receiver is a no-op, which is the fast
+// path unjournaled pipelines take.
+//
+// A Recorder value is a view onto a shared event stream; WithSeed derives
+// a view that stamps its events with a seed, so the parallel restarts of
+// a multi-seed sweep can share one live feed without losing attribution.
+type Recorder struct {
+	core    *core
+	seed    int64
+	stamped bool
+}
+
+// NewRecorder starts an empty journal whose ring buffer holds at most
+// maxEvents events (<= 0 selects DefaultMaxEvents).
+func NewRecorder(maxEvents int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Recorder{core: &core{
+		start: time.Now(),
+		max:   maxEvents,
+		subs:  map[int]*subscriber{},
+	}}
+}
+
+// WithSeed returns a view of the same journal that stamps every emitted
+// event with the given seed. Nil-safe.
+func (r *Recorder) WithSeed(seed int64) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{core: r.core, seed: seed, stamped: true}
+}
+
+// emit appends one event and fans it out to subscribers. No-op on nil or
+// after Close.
+func (r *Recorder) emit(ev Event) {
+	if r == nil {
+		return
+	}
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.seq++
+	ev.Seq = c.seq
+	ev.TMS = float64(time.Since(c.start)) / float64(time.Millisecond)
+	if r.stamped {
+		ev.Seed = r.seed
+	}
+	c.events = append(c.events, ev)
+	if len(c.events)-c.head > c.max {
+		c.head++
+		c.dropped++
+		// Compact occasionally so the backing array cannot grow without
+		// bound while the ring stays fixed-size.
+		if c.head > c.max {
+			c.events = append([]Event(nil), c.events[c.head:]...)
+			c.head = 0
+		}
+	}
+	for _, s := range c.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// StageStarted records a pipeline stage beginning.
+func (r *Recorder) StageStarted(stage string) {
+	r.emit(Event{Type: TypeStageStarted, Stage: stage})
+}
+
+// StageDone records a stage's volume-waterfall entry.
+func (r *Recorder) StageDone(e StageEntry) {
+	r.emit(Event{
+		Type:         TypeStageDone,
+		Stage:        e.Stage,
+		VolumeBefore: e.VolumeBefore,
+		VolumeAfter:  e.VolumeAfter,
+		Delta:        e.Delta,
+		Mechanisms:   e.Mechanisms,
+		DurationMS:   e.DurationMS,
+	})
+}
+
+// Progress records a hot-loop heartbeat of the given kind (anneal-epoch,
+// route-round, dual-pass) with numeric detail.
+func (r *Recorder) Progress(kind string, fields map[string]float64) {
+	r.emit(Event{Type: TypeProgress, Stage: kind, Fields: fields})
+}
+
+// Warn records a warning.
+func (r *Recorder) Warn(code, message string) {
+	r.emit(Event{Type: TypeWarning, Code: code, Message: message})
+}
+
+// JobState records a job-lifecycle transition (used by the compile
+// service; the pipeline itself never emits these).
+func (r *Recorder) JobState(state, message string) {
+	r.emit(Event{Type: TypeJobState, Code: state, Message: message})
+}
+
+// Close seals the journal: no further events are accepted and every
+// subscriber's channel is closed once its queued events drain. Idempotent
+// and nil-safe. Subscribers that arrive after Close still receive the
+// full buffered replay followed by an immediately-closed channel, which
+// is what gives late SSE clients replay-then-EOF semantics.
+func (r *Recorder) Close() {
+	if r == nil {
+		return
+	}
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for id, s := range c.subs {
+		close(s.ch)
+		delete(c.subs, id)
+	}
+}
+
+// Closed reports whether the journal has been sealed. Nil-safe (true:
+// a nil recorder accepts nothing).
+func (r *Recorder) Closed() bool {
+	if r == nil {
+		return true
+	}
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	return r.core.closed
+}
+
+// Events returns a snapshot copy of the buffered events (oldest first;
+// earlier events may have been dropped by the ring — see Dropped).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events[c.head:]...)
+}
+
+// Dropped reports how many events the ring buffer has discarded.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	return r.core.dropped
+}
+
+// Subscribe returns a replay of the buffered events plus a channel that
+// tails new ones. The channel closes when the journal is closed (or
+// immediately, if it already was). cancel detaches the subscriber; it is
+// safe to call after the channel closed. A subscriber that cannot keep
+// up loses events rather than blocking the pipeline.
+func (r *Recorder) Subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	if r == nil {
+		closed := make(chan Event)
+		close(closed)
+		return nil, closed, func() {}
+	}
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	replay = append([]Event(nil), c.events[c.head:]...)
+	if c.closed {
+		done := make(chan Event)
+		close(done)
+		return replay, done, func() {}
+	}
+	s := &subscriber{ch: make(chan Event, subBuffer)}
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = s
+	return replay, s.ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if sub, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(sub.ch)
+		}
+	}
+}
+
+// ctxKey carries the recorder through a context.
+type ctxKey struct{}
+
+// WithRecorder installs the recorder in the context. A nil recorder
+// returns ctx unchanged.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil when none was
+// installed — the nil fast path every call site relies on.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

@@ -1,0 +1,284 @@
+package journal
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilFastPath(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context returned a recorder")
+	}
+	var r *Recorder
+	// Every method must be a no-op on nil, not a panic.
+	r.StageStarted("pdgraph")
+	r.StageDone(StageEntry{Stage: "pdgraph"})
+	r.Progress("anneal-epoch", map[string]float64{"temp": 1})
+	r.Warn("x", "y")
+	r.JobState("done", "")
+	r.Close()
+	if !r.Closed() {
+		t.Fatal("nil recorder should report closed")
+	}
+	if r.WithSeed(3) != nil {
+		t.Fatal("WithSeed on nil recorder should stay nil")
+	}
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder has events")
+	}
+	if r.BuildDoc("x") != nil {
+		t.Fatal("nil recorder built a doc")
+	}
+	if ctx := WithRecorder(context.Background(), nil); FromContext(ctx) != nil {
+		t.Fatal("nil recorder installed in context")
+	}
+	// Subscribing to a nil recorder yields an immediately-closed channel.
+	replay, ch, cancel := r.Subscribe()
+	if len(replay) != 0 {
+		t.Fatal("nil recorder replayed events")
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("nil recorder channel not closed")
+	}
+	cancel()
+}
+
+func TestEmitSequenceAndSeedStamp(t *testing.T) {
+	r := NewRecorder(0)
+	r.StageStarted("pdgraph")
+	r.WithSeed(7).StageStarted("place")
+	r.Warn("code", "msg")
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.TMS < 0 {
+			t.Fatalf("event %d has negative timestamp", i)
+		}
+	}
+	if evs[0].Seed != 0 || evs[1].Seed != 7 {
+		t.Fatalf("seed stamps = %d,%d, want 0,7", evs[0].Seed, evs[1].Seed)
+	}
+	if evs[2].Type != TypeWarning || evs[2].Code != "code" {
+		t.Fatalf("warning event = %+v", evs[2])
+	}
+}
+
+func TestRingBufferBoundsAndCountsDrops(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 30; i++ {
+		r.Progress("anneal-epoch", map[string]float64{"epoch": float64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(evs))
+	}
+	if r.Dropped() != 22 {
+		t.Fatalf("dropped = %d, want 22", r.Dropped())
+	}
+	// The surviving window is the newest events with their original seqs.
+	if evs[0].Seq != 23 || evs[7].Seq != 30 {
+		t.Fatalf("ring window seqs = %d..%d, want 23..30", evs[0].Seq, evs[7].Seq)
+	}
+}
+
+func TestSubscribeReplayThenTail(t *testing.T) {
+	r := NewRecorder(0)
+	r.StageStarted("pdgraph")
+	r.StageStarted("simplify")
+
+	replay, ch, cancel := r.Subscribe()
+	defer cancel()
+	if len(replay) != 2 {
+		t.Fatalf("replay has %d events, want 2", len(replay))
+	}
+	r.StageStarted("place")
+	select {
+	case ev := <-ch:
+		if ev.Stage != "place" || ev.Seq != 3 {
+			t.Fatalf("tailed event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tail event never arrived")
+	}
+	r.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("expected channel close after recorder Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("channel never closed")
+	}
+}
+
+func TestLateSubscriberGetsFullReplayAndClosedChannel(t *testing.T) {
+	r := NewRecorder(0)
+	r.StageStarted("pdgraph")
+	r.JobState("done", "")
+	r.Close()
+	// Events after Close are discarded.
+	r.Warn("late", "should not appear")
+
+	replay, ch, cancel := r.Subscribe()
+	defer cancel()
+	if len(replay) != 2 {
+		t.Fatalf("late replay has %d events, want 2", len(replay))
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("late subscriber channel should be closed")
+	}
+	if !r.Closed() {
+		t.Fatal("recorder should report closed")
+	}
+}
+
+func TestCancelDetachesSubscriber(t *testing.T) {
+	r := NewRecorder(0)
+	_, ch, cancel := r.Subscribe()
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Fatal("cancelled subscriber channel should be closed")
+	}
+	// Emission after cancel must not panic on the detached channel.
+	r.StageStarted("pdgraph")
+}
+
+// TestConcurrentEmitAndSubscribe exercises the locking under -race: many
+// emitters, a subscriber churn, and snapshot readers all at once.
+func TestConcurrentEmitAndSubscribe(t *testing.T) {
+	r := NewRecorder(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rr := r.WithSeed(int64(g))
+			for i := 0; i < 200; i++ {
+				rr.Progress("anneal-epoch", map[string]float64{"epoch": float64(i)})
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, ch, cancel := r.Subscribe()
+				for j := 0; j < 5; j++ {
+					select {
+					case <-ch:
+					default:
+					}
+				}
+				cancel()
+				_ = r.Events()
+				_ = r.Dropped()
+			}
+		}()
+	}
+	wg.Wait()
+	r.Close()
+	if got := int(r.Dropped()) + len(r.Events()); got != 800 {
+		t.Fatalf("dropped+buffered = %d, want 800", got)
+	}
+}
+
+func TestBuildDocFiltersBySeed(t *testing.T) {
+	r := NewRecorder(0)
+	a, b := r.WithSeed(1), r.WithSeed(2)
+	a.Progress("anneal-epoch", map[string]float64{"epoch": 1, "temp": 9.5, "moves": 40, "accepted": 13})
+	b.Progress("anneal-epoch", map[string]float64{"epoch": 1, "temp": 3.5, "moves": 40, "accepted": 7})
+	a.Progress("route-round", map[string]float64{"round": 1, "ripped": 5, "overflow": 2})
+	a.Progress("dual-pass", map[string]float64{"pass": 1, "merges": 3})
+	a.Warn("route-squeezed", "2 cells")
+	b.Warn("route-failed", "1 net")
+
+	doc := a.BuildDoc("circ")
+	if doc.Seed != 1 || doc.Name != "circ" {
+		t.Fatalf("doc identity = %q seed %d", doc.Name, doc.Seed)
+	}
+	if len(doc.Anneal) != 1 || doc.Anneal[0].Temp != 9.5 || doc.Anneal[0].Accepted != 13 {
+		t.Fatalf("anneal trajectory = %+v", doc.Anneal)
+	}
+	if len(doc.RouteRounds) != 1 || doc.RouteRounds[0].Overflow != 2 {
+		t.Fatalf("route trajectory = %+v", doc.RouteRounds)
+	}
+	if len(doc.DualPasses) != 1 || doc.DualPasses[0].Merges != 3 {
+		t.Fatalf("dual trajectory = %+v", doc.DualPasses)
+	}
+	if len(doc.Warnings) != 1 || doc.Warnings[0].Code != "route-squeezed" {
+		t.Fatalf("warnings = %+v", doc.Warnings)
+	}
+}
+
+func TestCheckWaterfall(t *testing.T) {
+	good := &Journal{
+		CanonicalVolume: 168,
+		FinalVolume:     90,
+		Stages: []StageEntry{
+			{Stage: "pdgraph", VolumeBefore: 168, VolumeAfter: 168, Delta: 0},
+			{Stage: "place", VolumeBefore: 168, VolumeAfter: 60, Delta: -108},
+			{Stage: "route", VolumeBefore: 60, VolumeAfter: 90, Delta: 30},
+		},
+	}
+	if err := good.CheckWaterfall(); err != nil {
+		t.Fatalf("valid waterfall rejected: %v", err)
+	}
+
+	for name, bad := range map[string]*Journal{
+		"empty": {CanonicalVolume: 1, FinalVolume: 1},
+		"wrong-start": {CanonicalVolume: 100, FinalVolume: 90,
+			Stages: []StageEntry{{Stage: "place", VolumeBefore: 99, VolumeAfter: 90, Delta: -9}}},
+		"discontinuous": {CanonicalVolume: 100, FinalVolume: 90,
+			Stages: []StageEntry{
+				{Stage: "a", VolumeBefore: 100, VolumeAfter: 95, Delta: -5},
+				{Stage: "b", VolumeBefore: 94, VolumeAfter: 90, Delta: -4}}},
+		"bad-delta": {CanonicalVolume: 100, FinalVolume: 90,
+			Stages: []StageEntry{{Stage: "a", VolumeBefore: 100, VolumeAfter: 90, Delta: -9}}},
+		"wrong-end": {CanonicalVolume: 100, FinalVolume: 80,
+			Stages: []StageEntry{{Stage: "a", VolumeBefore: 100, VolumeAfter: 90, Delta: -10}}},
+	} {
+		if err := bad.CheckWaterfall(); err == nil {
+			t.Fatalf("%s waterfall accepted", name)
+		}
+	}
+}
+
+func TestFormatExplain(t *testing.T) {
+	j := &Journal{
+		Name: "threecnot", Seed: 1,
+		CanonicalVolume: 168, FinalVolume: 90,
+		Stages: []StageEntry{
+			{Stage: "pdgraph", VolumeBefore: 168, VolumeAfter: 168, Delta: 0,
+				Mechanisms: map[string]int{"modules": 14, "nets": 7}},
+			{Stage: "place", VolumeBefore: 168, VolumeAfter: 60, Delta: -108,
+				Mechanisms: map[string]int{"moves": 4000}},
+			{Stage: "route", VolumeBefore: 60, VolumeAfter: 90, Delta: 30},
+		},
+		Anneal:      []AnnealEpoch{{Epoch: 1, Temp: 50, Moves: 40, Accepted: 20}},
+		RouteRounds: []RouteRound{{Round: 1, Ripped: 7, Overflow: 0}},
+		Warnings:    []Warning{{Code: "route-squeezed", Message: "2 cells"}},
+	}
+	out := FormatExplain(j)
+	for _, want := range []string{
+		"threecnot", "canonical", "pdgraph", "-108", "+30",
+		"modules=14 nets=7", "anneal:", "routing:", "[route-squeezed]",
+		"53.6% of canonical",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(FormatExplain(nil), "no journal") {
+		t.Fatal("nil journal explain")
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// goldenEpoch anchors the hand-built span tree so the exported trace is
+// byte-stable: every timestamp below is an offset from this instant.
+var goldenEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// at returns the golden epoch shifted by us microseconds.
+func at(us int64) time.Time { return goldenEpoch.Add(time.Duration(us) * time.Microsecond) }
+
+// goldenSpan builds a finished span with fixed start/end offsets.
+func goldenSpan(name string, startUS, endUS int64, children ...*Span) *Span {
+	return &Span{Name: name, StartTime: at(startUS), EndTime: at(endUS), Children: children}
+}
+
+// goldenTracer is a deterministic span tree exercising every lane rule:
+// sequential children share their parent's lane, overlapping siblings
+// (a parallel seed sweep) open fresh lanes, and nesting stays inside the
+// lane of its parent.
+func goldenTracer() *Tracer {
+	root := goldenSpan("compile", 0, 1000,
+		goldenSpan("pdgraph", 0, 100),
+		goldenSpan("place", 100, 600,
+			goldenSpan("anneal-epoch", 100, 300),
+			goldenSpan("anneal-epoch", 300, 500),
+		),
+		goldenSpan("seed-1", 600, 900),
+		goldenSpan("seed-2", 650, 950), // overlaps seed-1 → new lane
+	)
+	root.Find("seed-1")[0].Attrs = []Attr{{Key: "seed", Value: 1}}
+	t := &Tracer{}
+	t.root = root
+	return t
+}
+
+// TestChromeTraceGolden pins the exact Chrome trace_event export of the
+// deterministic tree: timestamps relative to the root in microseconds,
+// "X" complete events, and the lane (tid) assignment. Any change to the
+// export format or the lane rules must update this golden deliberately.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"compile","ph":"X","ts":0,"dur":1000,"pid":0,"tid":0},` +
+		`{"name":"pdgraph","ph":"X","ts":0,"dur":100,"pid":0,"tid":0},` +
+		`{"name":"place","ph":"X","ts":100,"dur":500,"pid":0,"tid":0},` +
+		`{"name":"anneal-epoch","ph":"X","ts":100,"dur":200,"pid":0,"tid":0},` +
+		`{"name":"anneal-epoch","ph":"X","ts":300,"dur":200,"pid":0,"tid":0},` +
+		`{"name":"seed-1","ph":"X","ts":600,"dur":300,"pid":0,"tid":0,"args":{"seed":1}},` +
+		`{"name":"seed-2","ph":"X","ts":650,"dur":300,"pid":0,"tid":1}]` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("chrome trace drifted from golden:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// The export must round-trip as JSON (chrome://tracing is strict) with
+	// monotonically ordered, non-negative timestamps per lane.
+	var events []ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	lastPerLane := map[int]int64{}
+	for i, ev := range events {
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("event %d (%s) has negative time ts=%d dur=%d", i, ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.Ph != "X" {
+			t.Fatalf("event %d (%s) has phase %q, want X", i, ev.Name, ev.Ph)
+		}
+		if last, ok := lastPerLane[ev.TID]; ok && ev.TS < last {
+			t.Fatalf("event %d (%s) starts at %d before lane %d's previous start %d",
+				i, ev.Name, ev.TS, ev.TID, last)
+		}
+		lastPerLane[ev.TID] = ev.TS
+	}
+}
+
+// TestChromeTraceLiveTraceWellFormed runs the same structural checks over
+// a trace recorded with real clock readings, where timestamps are not
+// hand-picked: offsets must still come out non-negative and lane-ordered.
+func TestChromeTraceLiveTraceWellFormed(t *testing.T) {
+	tr := NewTracer("live")
+	a := tr.Root().StartChild("stage-a")
+	a.StartChild("inner").End()
+	a.End()
+	tr.Root().StartChild("stage-b").End()
+	tr.Finish()
+
+	events := tr.ChromeTrace()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	for i, ev := range events {
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("event %d (%s) has negative time ts=%d dur=%d", i, ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.TID != 0 {
+			t.Fatalf("sequential span %s assigned lane %d, want 0", ev.Name, ev.TID)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tqec/internal/journal"
 	"tqec/internal/obs"
 )
 
@@ -178,6 +179,7 @@ func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
 func RouteContext(ctx context.Context, g *Grid, nets []Net, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	parent := obs.FromContext(ctx)
+	jr := journal.FromContext(ctx)
 	for _, n := range nets {
 		for _, p := range n.Pins {
 			if !g.In(p) {
@@ -265,6 +267,13 @@ func RouteContext(ctx context.Context, g *Grid, nets []Net, opt Options) (*Resul
 		if roundSpan != nil {
 			roundSpan.SetAttr("overflow", overflow)
 			roundSpan.End()
+		}
+		if jr != nil {
+			jr.Progress("route-round", map[string]float64{
+				"round":    float64(iter + 1),
+				"ripped":   float64(len(toRoute)),
+				"overflow": float64(overflow),
+			})
 		}
 		if overflow == 0 {
 			break

@@ -63,13 +63,17 @@ type OptionSpec struct {
 
 // JobStatus is the GET /v1/jobs/{id} (and submit) response.
 type JobStatus struct {
-	ID       string  `json:"id"`
-	Name     string  `json:"name,omitempty"`
-	State    State   `json:"state"`
-	Cached   bool    `json:"cached,omitempty"`
-	Error    string  `json:"error,omitempty"`
-	CacheKey string  `json:"cache_key"`
-	QueueMS  float64 `json:"queue_ms,omitempty"`
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	State    State  `json:"state"`
+	Cached   bool   `json:"cached,omitempty"`
+	Error    string `json:"error,omitempty"`
+	CacheKey string `json:"cache_key"`
+	// QueuedMS is time spent waiting for a worker — live (submission to
+	// now) while the job is still queued, final once it started. Kept
+	// separate from RunMS so queue saturation is visible per job, not just
+	// in the aggregate tqecd_job_queue_seconds histogram.
+	QueuedMS float64 `json:"queued_ms,omitempty"`
 	RunMS    float64 `json:"run_ms,omitempty"`
 }
 
@@ -83,6 +87,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/journal", s.handleJournal)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -295,12 +301,16 @@ func (s *Server) status(j *Job) JobStatus {
 		CacheKey: j.Key,
 	}
 	if !j.started.IsZero() {
-		st.QueueMS = ms(j.started.Sub(j.submitted))
+		st.QueuedMS = ms(j.started.Sub(j.submitted))
 		end := j.finished
 		if end.IsZero() {
 			end = time.Now()
 		}
 		st.RunMS = ms(end.Sub(j.started))
+	} else if j.state == StateQueued {
+		// Still waiting for a worker: report the wait so far, so a client
+		// polling a saturated daemon can see the queue delay growing.
+		st.QueuedMS = ms(time.Since(j.submitted))
 	}
 	return st
 }

@@ -45,6 +45,21 @@ type metrics struct {
 	queueWait *obs.Histogram    // submit → worker pickup
 	compile   *obs.Histogram    // whole pipeline, per job
 	stages    *obs.HistogramVec // per-pipeline-stage wall-clock
+
+	// Queue and run latency as two separate seconds-unit histograms
+	// (Prometheus convention). tqecd_queue_wait_ms conflated nothing, but
+	// the old dashboards had only tqecd_compile_ms to answer "how long do
+	// jobs take", which folds queue delay into nothing and run time into
+	// one ms-unit family; these two keep the phases distinct so queue
+	// saturation and slow compiles alarm separately.
+	jobQueueSeconds *obs.Histogram // submit → worker pickup, seconds
+	jobRunSeconds   *obs.Histogram // worker pickup → terminal state, seconds
+}
+
+// secondsBounds are bucket upper bounds for the seconds-unit job latency
+// histograms: sub-millisecond pickups through multi-minute compiles.
+var secondsBounds = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
 func newMetrics() *metrics {
@@ -75,6 +90,9 @@ func newMetrics() *metrics {
 		queueWait: reg.Histogram("tqecd_queue_wait_ms", "Milliseconds between submission and worker pickup.", nil),
 		compile:   reg.Histogram("tqecd_compile_ms", "Whole-pipeline compile wall-clock, milliseconds.", nil),
 		stages:    reg.HistogramVec("tqecd_stage_ms", "Per-pipeline-stage wall-clock, milliseconds.", "stage", nil),
+
+		jobQueueSeconds: reg.Histogram("tqecd_job_queue_seconds", "Seconds a job waited in the queue before a worker picked it up.", secondsBounds),
+		jobRunSeconds:   reg.Histogram("tqecd_job_run_seconds", "Seconds a job spent running, pickup to terminal state (any outcome).", secondsBounds),
 	}
 }
 

@@ -11,6 +11,11 @@
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result payload (409 until the job is done)
 //	GET    /v1/jobs/{id}/trace  span tree of a traced job (?format=chrome for chrome://tracing)
+//	GET    /v1/jobs/{id}/events live Server-Sent-Events stream of the job's
+//	                            flight-recorder journal (replays buffered
+//	                            events, then tails until the job finishes)
+//	GET    /v1/jobs/{id}/journal structured compression journal of a
+//	                            finished job (409 until terminal)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness (503 while draining) + version, uptime, queue depth
 //	GET    /metrics             counters, cache stats, latency histograms
@@ -36,6 +41,7 @@ import (
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
 	"tqec/internal/drc"
+	"tqec/internal/journal"
 	"tqec/internal/obs"
 )
 
@@ -58,6 +64,11 @@ type Config struct {
 	// forgotten so a long-lived daemon does not accumulate every job it
 	// ever ran (default 512; negative retains everything).
 	MaxFinishedJobs int
+	// JournalEvents bounds each job's flight-recorder ring buffer, i.e.
+	// how many journal events GET /v1/jobs/{id}/events can replay to a
+	// late subscriber (default 4096; negative disables journaling
+	// entirely, making the events and journal endpoints answer 404).
+	JournalEvents int
 	// Logger receives structured per-job log lines (default: text handler
 	// on stderr at info level, the same shape the tqec CLIs use).
 	Logger *slog.Logger
@@ -81,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFinishedJobs == 0 {
 		c.MaxFinishedJobs = 512
+	}
+	if c.JournalEvents == 0 {
+		c.JournalEvents = journal.DefaultMaxEvents
 	}
 	if c.Logger == nil {
 		l, err := obs.NewLogger(obs.LogConfig{Writer: os.Stderr})
@@ -134,6 +148,15 @@ type Job struct {
 	finished        time.Time
 	payload         *ResultPayload
 	tracer          *obs.Tracer // non-nil once a traced job starts running
+
+	// recorder is the job's flight recorder, created at submission so even
+	// queued, cache-answered, and rejected jobs stream their lifecycle;
+	// nil when Config.JournalEvents is negative. journal is the structured
+	// waterfall document of a compile that ran to completion. Neither is
+	// part of ResultPayload: a cache replay runs no pipeline, so replaying
+	// a prior job's journal under a new job ID would misattribute it.
+	recorder *journal.Recorder
+	journal  *journal.Journal
 }
 
 // ResultPayload is the serialized outcome of a finished job — and the
@@ -261,6 +284,10 @@ func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Optio
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
+	if s.cfg.JournalEvents > 0 {
+		j.recorder = journal.NewRecorder(s.cfg.JournalEvents)
+		j.recorder.JobState(string(StateQueued), "")
+	}
 	s.jobs[j.ID] = j
 	return j
 }
@@ -310,12 +337,18 @@ func (s *Server) runJob(j *Job) {
 		j.tracer = obs.NewTracer("job:" + j.ID)
 		ctx = obs.WithTracer(ctx, j.tracer)
 	}
+	if j.recorder != nil {
+		ctx = journal.WithRecorder(ctx, j.recorder)
+		j.recorder.JobState(string(StateRunning), "")
+	}
 	s.mu.Unlock()
 	defer cancel()
 
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
-	s.metrics.queueWait.ObserveDuration(j.started.Sub(j.submitted))
+	queueDur := j.started.Sub(j.submitted)
+	s.metrics.queueWait.ObserveDuration(queueDur)
+	s.metrics.jobQueueSeconds.Observe(queueDur.Seconds())
 	s.log(j, "start", "seeds", len(j.seeds), "effort", int(j.opt.Effort),
 		"mode", j.opt.Mode.String(), "timeout", j.timeout, "trace", j.trace)
 
@@ -359,6 +392,7 @@ func (s *Server) runJob(j *Job) {
 		s.log(j, "canceled", "run_ms", ms(runDur), "partial_seeds", res.SeedsTried-len(res.SeedErrors))
 	default:
 		j.state = StateDone
+		j.journal = res.Journal
 		j.payload = s.buildPayload(j, res)
 		if !j.noCache && !interrupted {
 			s.cache.Put(j.Key, j.payload)
@@ -372,6 +406,7 @@ func (s *Server) runJob(j *Job) {
 		s.log(j, "done", "run_ms", ms(runDur), "volume", res.Volume, "placed", res.PlacedVolume,
 			"seeds_failed", len(res.SeedErrors), "partial", interrupted)
 	}
+	s.metrics.jobRunSeconds.Observe(runDur.Seconds())
 	s.finishLocked(j)
 }
 
@@ -406,11 +441,19 @@ func seedsInterrupted(errs []compress.SeedError) bool {
 	return false
 }
 
-// finishLocked finalizes a terminal job under s.mu: the parsed circuit is
-// released immediately, and once the retention bound is exceeded the
-// oldest-finished jobs are dropped from the job table entirely (their IDs
-// then answer 404, like a restart would).
+// finishLocked finalizes a terminal job under s.mu: the flight recorder
+// emits its terminal state and closes (ending every SSE stream), the
+// parsed circuit is released immediately, and once the retention bound is
+// exceeded the oldest-finished jobs are dropped from the job table
+// entirely (their IDs then answer 404, like a restart would). Every
+// terminal transition — done, failed, canceled, rejected, cache replay —
+// funnels through here, so subscribers always see exactly one terminal
+// job-state event.
 func (s *Server) finishLocked(j *Job) {
+	if j.recorder != nil {
+		j.recorder.JobState(string(j.state), j.errMsg)
+		j.recorder.Close()
+	}
 	j.circ = nil
 	if s.cfg.MaxFinishedJobs < 0 {
 		return
