@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"tqec/internal/bench"
 	"tqec/internal/compress"
@@ -35,6 +37,11 @@ func main() {
 		strict      = flag.Bool("compare-strict", false, "exit nonzero when -compare finds regressions (default: warn only)")
 	)
 	flag.Parse()
+
+	// Interrupt cancels the in-flight compile at its next iteration
+	// boundary instead of leaving a half-printed sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	eff := compress.EffortFast
 	switch *effort {
@@ -64,7 +71,7 @@ func main() {
 		t3Rows    []bench.Table3Row
 	)
 	if *fig1 {
-		r, err := bench.RunFig1(*seed)
+		r, err := bench.RunFig1(ctx, *seed)
 		fail(err)
 		figResult = &r
 		fmt.Print(bench.FormatFig1(r))
@@ -73,7 +80,7 @@ func main() {
 	var ours map[string]int
 	if *table == "3" || *table == "all" {
 		var err error
-		t3Rows, err = bench.RunTable3(specs, bench.Table3Options{Seed: *seed, Effort: eff, SkipRouting: *skipRouting})
+		t3Rows, err = bench.RunTable3(ctx, specs, bench.Table3Options{Seed: *seed, Effort: eff, SkipRouting: *skipRouting})
 		fail(err)
 		ours = map[string]int{}
 		for _, r := range t3Rows {
@@ -103,7 +110,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tqec-bench: unknown benchmark %q\n", *effortCurve)
 			os.Exit(1)
 		}
-		pts, err := bench.RunEffortCurve(spec, *seed, *skipRouting)
+		pts, err := bench.RunEffortCurve(ctx, spec, *seed, *skipRouting)
 		fail(err)
 		fmt.Print(bench.FormatEffortCurve(spec.Name, pts))
 		fmt.Println()
@@ -117,7 +124,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	if *tag != "" {
-		traj, err := bench.RunTrajectory(*tag, specs, *seed, eff, *skipRouting)
+		traj, err := bench.RunTrajectory(ctx, *tag, specs, *seed, eff, *skipRouting)
 		fail(err)
 		path := fmt.Sprintf("BENCH_%s.json", *tag)
 		f, err := os.Create(path)
@@ -127,7 +134,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 	if *compareTo != "" {
-		fail(runCompare(*compareTo, *tolerance, *strict))
+		fail(runCompare(ctx, *compareTo, *tolerance, *strict))
 	}
 }
 
@@ -136,7 +143,7 @@ func main() {
 // invocation's flags — and prints the delta report. With strict unset
 // the report is informational (the CI step is warn-only: final volume
 // depends on the run-to-run nondeterministic router).
-func runCompare(path string, tolerance float64, strict bool) error {
+func runCompare(ctx context.Context, path string, tolerance float64, strict bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -158,7 +165,7 @@ func runCompare(path string, tolerance float64, strict bool) error {
 		}
 		specs = append(specs, spec)
 	}
-	cur, err := bench.RunTrajectory("current", specs, base.Seed, eff, base.SkipRouting)
+	cur, err := bench.RunTrajectory(ctx, "current", specs, base.Seed, eff, base.SkipRouting)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -123,7 +124,7 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "tqec-lint: unknown effort %q\n", *effort)
 			return 2
 		}
-		res, err := compress.Compile(c, copt)
+		res, err := compress.CompileContext(context.Background(), c, copt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tqec-lint:", err)
 			return 2

@@ -1,0 +1,138 @@
+// Command tqec-vet runs the project's static-analysis suite
+// (internal/analysis) over the module: nil-fast-path guards, context
+// plumbing, *Locked call discipline, metric naming, and structured
+// output. It exits 0 when the tree is clean and 2 when any analyzer
+// reports a finding, printing each as path:line:col so editors and CI
+// annotations can jump to it.
+//
+// Usage:
+//
+//	tqec-vet [-json] [-C dir] [packages...]
+//
+// Package patterns follow the usual ./... form and default to ./...
+// relative to the module root.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tqec/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	chdir := flag.String("C", "", "module root directory (default: walk up from cwd to go.mod)")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tqec-vet [-json] [-C dir] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := *chdir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Analyzers reason over types.Info; a package that failed to
+	// type-check would make their silence meaningless, so surface the
+	// errors and fail hard.
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "tqec-vet: %s: %v\n", pkg.Path, terr)
+			broken = true
+		}
+	}
+	if broken {
+		os.Exit(1)
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	relativize(findings, root)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "tqec-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// relativize rewrites absolute file paths to be module-root-relative,
+// keeping reports stable across machines.
+func relativize(findings []analysis.Finding, root string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil && !filepath.IsAbs(rel) {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("tqec-vet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tqec-vet: "+format+"\n", args...)
+	os.Exit(1)
+}

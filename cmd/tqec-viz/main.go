@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,7 +57,7 @@ func main() {
 
 	var desc *geom.Description
 	if *compressed {
-		res, err := compress.Compile(c, compress.Options{
+		res, err := compress.CompileContext(context.Background(), c, compress.Options{
 			Mode: compress.Full, Seed: *seed, Effort: compress.EffortNormal, KeepGeometry: true,
 		})
 		fail(err)

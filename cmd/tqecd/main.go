@@ -71,7 +71,7 @@ func main() {
 		}()
 	}
 
-	svc := service.New(service.Config{
+	svc := service.New(context.Background(), service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cacheSize,

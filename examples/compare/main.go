@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,7 @@ func compile(spec tqec.Benchmark, mode compress.Mode) *compress.Result {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := compress.CompileICM(rep, spec.Name, compress.Options{
+	res, err := compress.CompileICMContext(context.Background(), rep, spec.Name, compress.Options{
 		Mode: mode, Seed: 1, Effort: compress.EffortNormal, SkipRouting: true,
 	}, time.Time{}, nil)
 	if err != nil {

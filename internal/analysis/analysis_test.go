@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes one Loader across the package's tests: the
+// stdlib dependency closure is the expensive part of source
+// type-checking, and every fixture shares it.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader("../..")
+})
+
+// runFixture loads one testdata fixture package, runs a single analyzer
+// over it, and diffs the findings against the fixture's // want
+// annotations.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("fixture analysis type-checks the stdlib closure; skipped in -short")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("internal/analysis/testdata/src/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+	exps, err := Expectations(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) == 0 {
+		t.Fatal("fixture has no // want annotations; it would pass vacuously")
+	}
+	for _, problem := range DiffExpectations(exps, findings) {
+		t.Error(problem)
+	}
+}
+
+func TestNilGuardFixture(t *testing.T) {
+	runFixture(t, NilGuard(map[string][]string{
+		"tqec/internal/analysis/testdata/src/nilguard": {"Tracer", "Span"},
+	}), "nilguard")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, CtxFlow(), "ctxflow")
+}
+
+func TestLockedCallFixture(t *testing.T) {
+	runFixture(t, LockedCall(), "lockedcall")
+}
+
+func TestMetricNameFixture(t *testing.T) {
+	runFixture(t, MetricName(), "metricname")
+}
+
+func TestNoPrintFixture(t *testing.T) {
+	runFixture(t, NoPrint(), "noprint")
+}
+
+// TestCleanTree is the suite's own dogfood gate: the production analyzer
+// set must report nothing on the module itself. A finding here means
+// either a real convention violation slipped in or an analyzer grew a
+// false positive — both block.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis; skipped in -short")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: %v", pkg.Path, terr)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	for _, f := range Run(pkgs, Default()) {
+		t.Errorf("finding on clean tree: %s", f)
+	}
+}

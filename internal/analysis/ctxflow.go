@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow builds the ctxflow analyzer. Two invariants, both scoped to
+// internal/ non-test code:
+//
+//  1. context.Background() and context.TODO() are forbidden — a fresh
+//     root context deep in the pipeline silently severs cancellation
+//     (and with it tqecd's per-job deadlines and DELETE). Roots belong
+//     in main functions and tests, outside internal/.
+//  2. A function that receives a context.Context must not drop it: when
+//     a callee has a context-accepting sibling (F vs. FContext, the
+//     project's pairing convention), calling the context-free F from a
+//     context-carrying function discards the caller's deadline.
+func CtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "no fresh context roots in internal code; context-carrying functions must not drop ctx when a *Context sibling exists",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.InInternal() {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			scopes := contextScopes(info, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcFor(info, call)
+				if fn == nil {
+					return true
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(call.Pos(),
+						"context.%s() in internal code severs cancellation: accept a ctx parameter instead (roots belong in main and tests)", fn.Name())
+					return true
+				}
+				if !inContextScope(scopes, call.Pos()) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || hasContextParam(sig) {
+					return true
+				}
+				if sibling := contextSibling(fn, sig); sibling != "" {
+					pass.Reportf(call.Pos(),
+						"call to %s drops the caller's ctx: use %s", fn.Name(), sibling)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// span is the body range of one function declaration or literal, tagged
+// with whether that function receives a context.Context.
+type span struct {
+	lo, hi token.Pos
+	hasCtx bool
+}
+
+// contextScopes collects the body range of every function declaration
+// and literal in the file. Ranges nest; the innermost one containing a
+// position decides whether that position runs with a ctx in hand.
+func contextScopes(info *types.Info, file *ast.File) []span {
+	var spans []span
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var sig *types.Signature
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return true
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				return true
+			}
+			body = fn.Body
+			sig = obj.Type().(*types.Signature)
+		case *ast.FuncLit:
+			tv, ok := info.Types[fn]
+			if !ok {
+				return true
+			}
+			s, ok := tv.Type.(*types.Signature)
+			if !ok {
+				return true
+			}
+			body = fn.Body
+			sig = s
+		default:
+			return true
+		}
+		spans = append(spans, span{body.Pos(), body.End(), hasContextParam(sig)})
+		return true
+	})
+	return spans
+}
+
+// inContextScope reports whether the innermost function body enclosing
+// pos has a context parameter. A nested context-free literal shields its
+// body even inside a context-carrying function: the literal genuinely
+// has no ctx to pass.
+func inContextScope(spans []span, pos token.Pos) bool {
+	best := span{lo: token.NoPos}
+	found := false
+	for _, s := range spans {
+		if s.lo <= pos && pos < s.hi {
+			if !found || s.lo >= best.lo {
+				best = s
+				found = true
+			}
+		}
+	}
+	return found && best.hasCtx
+}
+
+// contextSibling returns the name of fn's context-accepting sibling
+// (fn.Name()+"Context" in the same scope — package scope for plain
+// functions, the receiver's method set for methods), or "" when none
+// exists.
+func contextSibling(fn *types.Func, sig *types.Signature) string {
+	want := fn.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m.Name() == want && hasContextParam(m.Type().(*types.Signature)) {
+				return named.Obj().Name() + "." + want
+			}
+		}
+		return ""
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	obj := pkg.Scope().Lookup(want)
+	sibling, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	if ssig, ok := sibling.Type().(*types.Signature); ok && hasContextParam(ssig) {
+		return want
+	}
+	return ""
+}

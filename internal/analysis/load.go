@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module (or of
+// its dependency closure).
+type Package struct {
+	// Path is the import path ("tqec/internal/obs") or "std:<path>" never —
+	// stdlib packages keep their plain path.
+	Path string
+	// Dir is the absolute package directory.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	// Info is populated for module packages (the ones analyzers inspect)
+	// and nil for dependency-only loads.
+	Info *types.Info
+	// TypeErrors collects type-checker diagnostics; analyzers still run on
+	// packages with errors, but the driver surfaces them and fails.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source using only the
+// standard library: module packages resolve against the module root,
+// everything else against GOROOT/src (with the GOROOT vendor fallback).
+// Dependency packages are checked with IgnoreFuncBodies, which gives the
+// same exported API a compiler's export data would, at a fraction of the
+// cost.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	Fset       *token.FileSet
+
+	ctxt build.Context
+	pkgs map[string]*Package // by import path; nil value marks in-progress (cycle guard)
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot (the
+// directory holding go.mod).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	root, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// Cgo-free file selection picks the pure-Go variants of stdlib
+	// packages (net, os/user, ...), which is what makes source
+	// type-checking possible without a C toolchain.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		pkgs:       map[string]*Package{},
+	}, nil
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Expand resolves a package pattern to module-relative directories.
+// Supported forms: "./..." and "dir/..." (recursive, skipping testdata
+// and hidden directories), plus plain directories. Results are relative
+// to the module root and sorted.
+func (l *Loader) Expand(pattern string) ([]string, error) {
+	pattern = filepath.ToSlash(pattern)
+	base, recursive := pattern, false
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		base, recursive = rest, true
+		if base == "." || base == "" {
+			base = "."
+		}
+	}
+	baseDir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(base, "./")))
+	info, err := os.Stat(baseDir)
+	if err != nil || !info.IsDir() {
+		return nil, fmt.Errorf("analysis: no such package directory %q", pattern)
+	}
+	if !recursive {
+		rel, err := filepath.Rel(l.ModuleRoot, baseDir)
+		if err != nil {
+			return nil, err
+		}
+		return []string{filepath.ToSlash(rel)}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(baseDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != baseDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(l.ModuleRoot, path)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir contains at least one non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the module package in the given module-relative (or
+// absolute, under the module root) directory, with full type information.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs := dir
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(l.ModuleRoot, filepath.FromSlash(dir))
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside the module", dir)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, abs, true)
+}
+
+// Import implements types.Importer over the same cache the driver uses,
+// so intra-module imports share one type-checked package per path.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, inModule, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.load(path, dir, inModule)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// resolve maps an import path to a source directory. Module paths win;
+// everything else is stdlib, with the GOROOT vendor tree as fallback.
+func (l *Loader) resolve(path string) (dir string, inModule bool, err error) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, true, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), true, nil
+	}
+	goroot := l.ctxt.GOROOT
+	for _, cand := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if info, err := os.Stat(cand); err == nil && info.IsDir() {
+			return cand, false, nil
+		}
+	}
+	return "", false, fmt.Errorf("analysis: cannot resolve import %q (not in module or GOROOT)", path)
+}
+
+// load parses and type-checks one package directory, memoized by import
+// path. Module packages get full bodies and a populated Info; dependency
+// packages are checked with IgnoreFuncBodies.
+func (l *Loader) load(path, dir string, inModule bool) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // in-progress marker
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.pkgs, path)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: !inModule,
+		Error:            func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	if inModule {
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, pkg.Info)
+	if tpkg == nil {
+		delete(l.pkgs, path)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg.Files = files
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Load expands the given patterns and loads every matched module package
+// with full type information.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	seen := map[string]bool{}
+	var pkgs []*Package
+	for _, pattern := range patterns {
+		dirs, err := l.Expand(pattern)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			if seen[dir] {
+				continue
+			}
+			seen[dir] = true
+			pkg, err := l.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedByRE extracts the mutex name from a "guarded by mu" /
+// "guarded by s.mu" field comment.
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// LockedCall builds the lockedcall analyzer, enforcing the
+// internal/service locking discipline in two parts:
+//
+//  1. A function named *Locked asserts "caller holds the mutex". It may
+//     only be called from another *Locked function, or from a body that
+//     visibly holds a lock at the call site — a .Lock()/.RLock() on the
+//     same receiver earlier in the body with no intervening non-deferred
+//     unlock.
+//  2. A struct field whose comment says "guarded by <mu>" (where <mu>
+//     names a sync.Mutex/RWMutex field of the same struct) may only be
+//     accessed from functions that lock that mutex somewhere in their
+//     body, or are themselves named *Locked.
+//
+// Both checks are deliberately syntactic about lock state — the point is
+// that the discipline stays *visible*, not that arbitrary aliasing is
+// resolved.
+func LockedCall() *Analyzer {
+	a := &Analyzer{
+		Name: "lockedcall",
+		Doc:  "*Locked functions require a visibly held mutex; 'guarded by' fields require their mutex locked",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		guarded := guardedFields(info, pass.Pkg.Files)
+		for _, file := range pass.Pkg.Files {
+			for _, scope := range functionScopes(file) {
+				checkLockedCalls(pass, info, scope)
+				checkGuardedAccess(pass, info, scope, guarded)
+			}
+		}
+	}
+	return a
+}
+
+// funcScope is one function body treated as an independent lock scope:
+// a declaration or a literal. Nested literals are their own scopes.
+type funcScope struct {
+	name string // declaration name; "" for literals
+	body *ast.BlockStmt
+}
+
+// functionScopes collects every function declaration and literal in the
+// file.
+func functionScopes(file *ast.File) []funcScope {
+	var scopes []funcScope
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				scopes = append(scopes, funcScope{name: fn.Name.Name, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			scopes = append(scopes, funcScope{body: fn.Body})
+		}
+		return true
+	})
+	return scopes
+}
+
+// walkScope walks the statements of one scope, stopping at nested
+// function literals (they are separate scopes).
+func walkScope(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// isLockedName reports whether name asserts the caller-holds-lock
+// convention.
+func isLockedName(name string) bool {
+	return strings.HasSuffix(name, "Locked") && !strings.HasSuffix(name, "Unlocked")
+}
+
+// mutexOp classifies a call as a mutex lock/unlock by resolving the
+// callee to a sync.Mutex / sync.RWMutex method. Returns the rendered
+// mutex expression ("s.mu") and whether it locks (Lock/RLock) or
+// unlocks. ok is false for anything that is not a mutex operation.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key string, locks bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || !isMutexMethod(fn) {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// isMutexMethod reports whether fn is declared on sync.Mutex or
+// sync.RWMutex (covers embedded mutexes too, since the method object is
+// the same).
+func isMutexMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkLockedCalls enforces part 1 within one scope.
+func checkLockedCalls(pass *Pass, info *types.Info, scope funcScope) {
+	if isLockedName(scope.name) {
+		return // a *Locked body may call other *Locked helpers freely
+	}
+	type event struct {
+		key   string
+		locks bool
+		pos   token.Pos
+	}
+	var events []event
+	type lockedCall struct {
+		call *ast.CallExpr
+		name string
+		base string // rendered receiver for method calls, "" for plain functions
+	}
+	var calls []lockedCall
+
+	walkScope(scope.body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// A deferred unlock releases at return, so it never ends the
+			// held region for call sites inside the body; a deferred lock
+			// is nonsense we simply ignore.
+			if _, _, isMu := mutexOp(info, d.Call); isMu {
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, locks, isMu := mutexOp(info, call); isMu {
+			events = append(events, event{key: key, locks: locks, pos: call.Pos()})
+			return true
+		}
+		fn := funcFor(info, call)
+		if fn == nil || !isLockedName(fn.Name()) {
+			return true
+		}
+		lc := lockedCall{call: call, name: fn.Name()}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				lc.base = types.ExprString(sel.X)
+			}
+		}
+		calls = append(calls, lc)
+		return true
+	})
+
+	held := func(pos token.Pos, base string) bool {
+		for i, ev := range events {
+			if !ev.locks || ev.pos >= pos {
+				continue
+			}
+			if base != "" && !strings.HasPrefix(ev.key, base+".") && ev.key != base {
+				continue
+			}
+			released := false
+			for _, un := range events[i+1:] {
+				if !un.locks && un.key == ev.key && un.pos < pos {
+					released = true
+					break
+				}
+			}
+			if !released {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, lc := range calls {
+		if held(lc.call.Pos(), lc.base) {
+			continue
+		}
+		where := "a mutex"
+		if lc.base != "" {
+			where = "a mutex on " + lc.base
+		}
+		pass.Reportf(lc.call.Pos(),
+			"%s asserts the caller holds its lock, but no %s is visibly held here: call it from a *Locked function or after .Lock()", lc.name, where)
+	}
+}
+
+// guardedFields maps struct fields annotated "guarded by <mu>" to the
+// sync mutex field of the same struct they name. Annotations whose name
+// does not resolve to a sibling mutex field are prose, not contracts,
+// and are ignored.
+func guardedFields(info *types.Info, files []*ast.File) map[*types.Var]*types.Var {
+	out := map[*types.Var]*types.Var{}
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Index this struct's mutex-typed fields by name.
+			mutexes := map[string]*types.Var{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					v, _ := info.Defs[name].(*types.Var)
+					if v != nil && isMutexType(v.Type()) {
+						mutexes[name.Name] = v
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := guardComment(f)
+				if mu == "" {
+					continue
+				}
+				if i := strings.LastIndex(mu, "."); i >= 0 {
+					mu = mu[i+1:]
+				}
+				mv, ok := mutexes[mu]
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, _ := info.Defs[name].(*types.Var); v != nil && v != mv {
+						out[v] = mv
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardComment returns the mutex name from a field's doc or line
+// comment, or "".
+func guardComment(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkGuardedAccess enforces part 2 within one scope: any selector
+// access to a guarded field requires the paired mutex to be locked
+// somewhere in the same scope (or a *Locked scope name).
+func checkGuardedAccess(pass *Pass, info *types.Info, scope funcScope, guarded map[*types.Var]*types.Var) {
+	if len(guarded) == 0 || isLockedName(scope.name) {
+		return
+	}
+	locked := map[*types.Var]bool{}
+	type access struct {
+		sel *ast.SelectorExpr
+		fld *types.Var
+	}
+	var accesses []access
+	walkScope(scope.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj, ok := info.Uses[sel.Sel].(*types.Var); ok {
+			if _, isGuarded := guarded[obj]; isGuarded {
+				accesses = append(accesses, access{sel: sel, fld: obj})
+			}
+		}
+		return true
+	})
+	walkScope(scope.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := info.Uses[sel.Sel].(*types.Func)
+		if fn == nil || !isMutexMethod(fn) {
+			return true
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+			if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+				if mv, _ := info.Uses[muSel.Sel].(*types.Var); mv != nil {
+					locked[mv] = true
+				}
+			} else if id, ok := sel.X.(*ast.Ident); ok {
+				if mv, _ := info.Uses[id].(*types.Var); mv != nil {
+					locked[mv] = true
+				}
+			}
+		}
+		return true
+	})
+	reported := map[*types.Var]bool{}
+	for _, acc := range accesses {
+		mv := guarded[acc.fld]
+		if locked[mv] || reported[acc.fld] {
+			continue
+		}
+		reported[acc.fld] = true
+		name := scope.name
+		if name == "" {
+			name = "this function literal"
+		}
+		pass.Reportf(acc.sel.Sel.Pos(),
+			"field %s is guarded by %s, but %s never locks it (and is not *Locked)", acc.fld.Name(), mv.Name(), name)
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DefaultNilGuardTargets are the types whose nil fast path keeps
+// untraced and unjournaled compiles bit-identical (DESIGN.md §9–§10):
+// every exported pointer-receiver method must tolerate a nil receiver,
+// because instrumentation call sites deliberately hold nil when no
+// tracer/recorder is installed in the context.
+var DefaultNilGuardTargets = map[string][]string{
+	"tqec/internal/obs":     {"Tracer", "Span"},
+	"tqec/internal/journal": {"Recorder", "Journal"},
+}
+
+// NilGuard builds the nilguard analyzer for the given targets
+// (package path → type names). Exported pointer-receiver methods on a
+// target type must begin with a nil-receiver guard
+// (`if r == nil { return ... }`) or forward the receiver, as their first
+// statement, to another method of the same type that satisfies the rule.
+func NilGuard(targets map[string][]string) *Analyzer {
+	a := &Analyzer{
+		Name: "nilguard",
+		Doc:  "exported pointer-receiver methods on nil-fast-path types must begin with a nil-receiver guard",
+	}
+	a.Run = func(pass *Pass) {
+		typeNames := targets[pass.Pkg.Path]
+		if len(typeNames) == 0 {
+			return
+		}
+		isTarget := map[string]bool{}
+		for _, n := range typeNames {
+			isTarget[n] = true
+		}
+
+		// Index every pointer-receiver method of the target types so
+		// delegation (m calls r.emit(...) as its first statement) can be
+		// resolved to the forwarded-to declaration.
+		type methodKey struct{ typ, name string }
+		methods := map[methodKey]*ast.FuncDecl{}
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil {
+					continue
+				}
+				typ, ptr := receiverType(fd)
+				if ptr && isTarget[typ] {
+					methods[methodKey{typ, fd.Name.Name}] = fd
+				}
+			}
+		}
+
+		memo := map[*ast.FuncDecl]bool{}
+		var safe func(fd *ast.FuncDecl, visiting map[*ast.FuncDecl]bool) bool
+		safe = func(fd *ast.FuncDecl, visiting map[*ast.FuncDecl]bool) bool {
+			if v, ok := memo[fd]; ok {
+				return v
+			}
+			if visiting[fd] {
+				return false // delegation cycle: nobody actually guards
+			}
+			visiting[fd] = true
+			defer delete(visiting, fd)
+
+			recv := receiverName(fd)
+			ok := false
+			switch {
+			case fd.Body == nil || len(fd.Body.List) == 0 || recv == "":
+				ok = false
+			case isNilGuard(fd.Body.List[0], recv):
+				ok = true
+			default:
+				// Forwarding: the first statement calls another method on
+				// the same receiver, which must itself be nil-safe.
+				if target := forwardedMethod(fd.Body.List[0], recv); target != "" {
+					typ, _ := receiverType(fd)
+					if dst, found := methods[methodKey{typ, target}]; found {
+						ok = safe(dst, visiting)
+					}
+				}
+			}
+			memo[fd] = ok
+			return ok
+		}
+
+		for key, fd := range methods {
+			if !ast.IsExported(key.name) {
+				continue
+			}
+			if !safe(fd, map[*ast.FuncDecl]bool{}) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported method (*%s).%s must begin with a nil-receiver guard (or forward to a nil-safe method): the nil fast path keeps untraced runs bit-identical",
+					key.typ, key.name)
+			}
+		}
+	}
+	return a
+}
+
+// receiverType returns the receiver's named type and whether it is a
+// pointer receiver.
+func receiverType(fd *ast.FuncDecl) (name string, pointer bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+		pointer = true
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, pointer
+	}
+	return "", false
+}
+
+// receiverName returns the receiver identifier, or "" when unnamed.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+// isNilGuard reports whether stmt is `if recv == nil { ... return ... }`
+// (the guard body's final statement must return, so the nil path really
+// does bail out).
+func isNilGuard(stmt ast.Stmt, recv string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" {
+		return false
+	}
+	if !isRecvNilPair(cond.X, cond.Y, recv) && !isRecvNilPair(cond.Y, cond.X, recv) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, returns := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return returns
+}
+
+func isRecvNilPair(x, y ast.Expr, recv string) bool {
+	xi, ok := x.(*ast.Ident)
+	if !ok || xi.Name != recv {
+		return false
+	}
+	yi, ok := y.(*ast.Ident)
+	return ok && yi.Name == "nil"
+}
+
+// forwardedMethod returns the method name when stmt is a plain
+// forwarding call `recv.M(...)` or `return recv.M(...)`, else "".
+func forwardedMethod(stmt ast.Stmt, recv string) string {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || base.Name != recv {
+		return ""
+	}
+	return sel.Sel.Name
+}

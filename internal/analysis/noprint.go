@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPrint builds the noprint analyzer: fmt.Print, fmt.Printf,
+// fmt.Println, and the print/println builtins are forbidden in
+// internal/ code. The daemon's output must stay structured — use
+// log/slog (obs.NewLogger) so every line is machine-parsable and
+// carries the shared attribute shape. Writer-directed fmt.Fprint* is
+// fine: it targets an explicit io.Writer, not the process's stdout.
+func NoPrint() *Analyzer {
+	a := &Analyzer{
+		Name: "noprint",
+		Doc:  "no fmt.Print*/println in internal code; use log/slog so daemon output stays structured",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.InInternal() {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if b, ok := info.Uses[fun].(*types.Builtin); ok {
+						if name := b.Name(); name == "print" || name == "println" {
+							pass.Reportf(call.Pos(), "builtin %s in internal code: use log/slog for structured output", name)
+						}
+					}
+				case *ast.SelectorExpr:
+					fn, _ := info.Uses[fun.Sel].(*types.Func)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+						return true
+					}
+					switch fn.Name() {
+					case "Print", "Printf", "Println":
+						pass.Reportf(call.Pos(), "fmt.%s in internal code writes raw stdout: use log/slog for structured output", fn.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,57 @@
+// Package ctxflow is a tqec-vet fixture: no fresh context roots, and a
+// context-carrying function must not call the context-free half of an
+// F/FContext pair.
+package ctxflow
+
+import "context"
+
+// Work / WorkContext form the project's pairing convention.
+func Work(n int) int { return n }
+
+func WorkContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// plain has no context sibling.
+func plain(n int) int { return n }
+
+func Roots() {
+	_ = context.Background() // want "severs cancellation"
+	_ = context.TODO()       // want "severs cancellation"
+}
+
+func Carries(ctx context.Context) {
+	_ = Work(1) // want "drops the caller's ctx"
+	_ = WorkContext(ctx, 1)
+	_ = plain(1)
+}
+
+// Dropless has no ctx, so calling the context-free half is fine.
+func Dropless() {
+	_ = Work(1)
+}
+
+// Literals count as scopes of their own.
+func CarriesViaLiteral(ctx context.Context) {
+	f := func() {
+		_ = Work(1) // the literal itself has no ctx parameter
+	}
+	f()
+	g := func(ctx context.Context) {
+		_ = Work(2) // want "drops the caller's ctx"
+	}
+	g(ctx)
+}
+
+// Stepper exercises the method-sibling lookup.
+type Stepper struct{}
+
+func (s *Stepper) Step() {}
+
+func (s *Stepper) StepContext(ctx context.Context) { _ = ctx }
+
+func (s *Stepper) Drive(ctx context.Context) {
+	s.Step() // want "drops the caller's ctx"
+	s.StepContext(ctx)
+}

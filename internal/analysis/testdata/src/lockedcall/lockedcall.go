@@ -1,0 +1,62 @@
+// Package lockedcall is a tqec-vet fixture: *Locked callees need a
+// visibly held mutex, and "guarded by mu" fields need their mutex locked
+// in the accessing scope.
+package lockedcall
+
+import "sync"
+
+type server struct {
+	mu   sync.Mutex
+	jobs map[string]int // guarded by mu
+	name string         // plain field, no contract
+}
+
+func (s *server) finishLocked(id string) {
+	s.jobs[id]++ // fine: *Locked scopes are exempt by name
+}
+
+func (s *server) submit(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finishLocked(id)
+}
+
+func (s *server) drainLocked() {
+	s.finishLocked("all") // fine: *Locked caller
+}
+
+func (s *server) unlocked(id string) {
+	s.finishLocked(id) // want "visibly held"
+}
+
+func (s *server) afterUnlock(id string) {
+	s.mu.Lock()
+	s.jobs[id] = 1
+	s.mu.Unlock()
+	s.finishLocked(id) // want "visibly held"
+}
+
+func (s *server) reads() int {
+	return len(s.jobs) // want "guarded by mu"
+}
+
+func (s *server) readsSafely() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+func (s *server) readsUnguardedField() string {
+	return s.name // fine: no guarded-by contract
+}
+
+// rename exercises the Unlocked-suffix exclusion: not a *Locked callee.
+func (s *server) jobsUnlocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+func (s *server) callsUnlocked() int {
+	return s.jobsUnlocked() // fine: Unlocked names carry no contract
+}

@@ -1,0 +1,26 @@
+// Package metricname is a tqec-vet fixture: obs registry metric names
+// must be literals in the tqec[cd]?_* scheme, counters end in _total,
+// duration histograms in _seconds or _ms.
+package metricname
+
+import "tqec/internal/obs"
+
+func Register(r *obs.Registry) {
+	r.Counter("tqecd_jobs_total", "ok")
+	r.Counter("tqec_compiles_total", "ok: library prefix")
+	r.Counter("tqecd_jobs", "missing suffix")  // want "must end in _total"
+	r.Counter("jobs_total", "missing prefix")  // want "does not match"
+	r.Counter("tqecd_Jobs_total", "uppercase") // want "does not match"
+	r.Gauge("tqecd_queue_depth", "ok")
+	r.Gauge("tqecx_queue_depth", "bad subsystem") // want "does not match"
+	r.Histogram("tqecd_compile_ms", "ok", nil)
+	r.Histogram("tqecd_compile_seconds", "ok", nil)
+	r.Histogram("tqecd_compile", "no unit", nil) // want "_seconds or _ms"
+	r.HistogramVec("tqecd_stage_ms", "ok", "stage", nil)
+	r.HistogramVec("tqecd_stage", "no unit", "stage", nil) // want "_seconds or _ms"
+	name := dynamicName()
+	r.Counter(name, "computed") // want "string literal"
+	r.GaugeFunc("tqecd_uptime_seconds", "ok", func() float64 { return 0 })
+}
+
+func dynamicName() string { return "tqecd_dynamic_total" }

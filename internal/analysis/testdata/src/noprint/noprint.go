@@ -1,0 +1,22 @@
+// Package noprint is a tqec-vet fixture: raw stdout printing is
+// forbidden; writer-directed and string-building fmt functions are fine.
+package noprint
+
+import (
+	"fmt"
+	"os"
+)
+
+func Bad() {
+	fmt.Println("x")      // want "fmt.Println"
+	fmt.Printf("%d\n", 1) // want "fmt.Printf"
+	fmt.Print("x")        // want "fmt.Print in internal code"
+	println("x")          // want "builtin println"
+	print("x")            // want "builtin print"
+}
+
+func Good() {
+	fmt.Fprintln(os.Stderr, "structured enough: explicit writer")
+	_ = fmt.Sprintf("%d", 1)
+	_ = fmt.Errorf("wrapped: %d", 2)
+}

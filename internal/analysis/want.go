@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// wantRE matches one quoted expectation in a // want comment. The
+// quoted strings are Go string literals holding regular expressions.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Expectation is one // want annotation: every regexp must match a
+// finding reported on the same line, and every finding on the line must
+// match one of the regexps.
+type Expectation struct {
+	File    string
+	Line    int
+	Regexps []*regexp.Regexp
+}
+
+// Expectations extracts // want "..." annotations from the files'
+// comments. A malformed annotation (unparsable string or regexp) is an
+// error — silently ignoring it would make a fixture vacuously pass.
+func Expectations(fset *token.FileSet, files []*ast.File) ([]Expectation, error) {
+	var out []Expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				quoted := wantRE.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s: // want with no quoted expectation", fset.Position(c.Pos()))
+				}
+				exp := Expectation{
+					File: fset.Position(c.Pos()).Filename,
+					Line: fset.Position(c.Pos()).Line,
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want string %s: %v", fset.Position(c.Pos()), q, err)
+					}
+					rx, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), s, err)
+					}
+					exp.Regexps = append(exp.Regexps, rx)
+				}
+				out = append(out, exp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DiffExpectations compares findings against expectations and returns a
+// sorted list of mismatches (empty means the fixture behaved exactly as
+// annotated): unmatched expectations, and findings on lines with no
+// matching annotation.
+func DiffExpectations(expectations []Expectation, findings []Finding) []string {
+	type lineKey struct {
+		file string
+		line int
+	}
+	byLine := map[lineKey][]Finding{}
+	for _, f := range findings {
+		k := lineKey{f.File, f.Line}
+		byLine[k] = append(byLine[k], f)
+	}
+	var problems []string
+	claimed := map[lineKey][]bool{} // per-line finding consumption
+	for _, exp := range expectations {
+		k := lineKey{exp.File, exp.Line}
+		got := byLine[k]
+		if claimed[k] == nil {
+			claimed[k] = make([]bool, len(got))
+		}
+		for _, rx := range exp.Regexps {
+			matched := false
+			for i, f := range got {
+				if !claimed[k][i] && rx.MatchString(f.Message) {
+					claimed[k][i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				problems = append(problems, fmt.Sprintf("%s:%d: expected finding matching %q, got none", exp.File, exp.Line, rx))
+			}
+		}
+	}
+	for k, got := range byLine {
+		for i, f := range got {
+			if claimed[k] == nil || !claimed[k][i] {
+				problems = append(problems, fmt.Sprintf("%s:%d: unexpected finding: %s: %s", k.file, k.line, f.Analyzer, f.Message))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

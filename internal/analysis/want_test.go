@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseWant(t *testing.T, src string) ([]Expectation, error) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Expectations(fset, []*ast.File{f})
+}
+
+func TestExpectationsParsing(t *testing.T) {
+	exps, err := parseWant(t, `package p
+
+func a() {} // want "first" "sec.nd"
+func b() {} // ordinary comment, no annotation
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 1 {
+		t.Fatalf("got %d expectations, want 1", len(exps))
+	}
+	if exps[0].Line != 3 || len(exps[0].Regexps) != 2 {
+		t.Fatalf("got line %d with %d regexps, want line 3 with 2", exps[0].Line, len(exps[0].Regexps))
+	}
+}
+
+func TestExpectationsRejectsEmptyWant(t *testing.T) {
+	_, err := parseWant(t, "package p\n\nfunc a() {} // want nothing quoted\n")
+	if err == nil || !strings.Contains(err.Error(), "no quoted expectation") {
+		t.Fatalf("expected no-quoted-expectation error, got %v", err)
+	}
+}
+
+func TestExpectationsRejectsBadRegexp(t *testing.T) {
+	_, err := parseWant(t, "package p\n\nfunc a() {} // want \"(\"\n")
+	if err == nil || !strings.Contains(err.Error(), "bad want regexp") {
+		t.Fatalf("expected bad-regexp error, got %v", err)
+	}
+}
+
+func finding(file string, line int, analyzer, msg string) Finding {
+	return Finding{Analyzer: analyzer, File: file, Line: line, Message: msg}
+}
+
+func TestDiffExpectationsExactMatch(t *testing.T) {
+	exps, err := parseWant(t, `package p
+
+func a() {} // want "boom"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := DiffExpectations(exps, []Finding{finding("fixture.go", 3, "x", "boom goes the invariant")})
+	if len(problems) != 0 {
+		t.Fatalf("clean diff expected, got %v", problems)
+	}
+}
+
+func TestDiffExpectationsReportsBothDirections(t *testing.T) {
+	exps, err := parseWant(t, `package p
+
+func a() {} // want "missing"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := DiffExpectations(exps, []Finding{finding("fixture.go", 5, "x", "surprise")})
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2 (one unmatched want, one unexpected finding): %v", len(problems), problems)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "expected finding matching") || !strings.Contains(joined, "unexpected finding") {
+		t.Fatalf("problems missing a direction: %v", problems)
+	}
+}
+
+func TestDiffExpectationsMultipleOnOneLine(t *testing.T) {
+	exps, err := parseWant(t, `package p
+
+func a() {} // want "first" "second"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := DiffExpectations(exps, []Finding{
+		finding("fixture.go", 3, "x", "the second issue"),
+		finding("fixture.go", 3, "x", "the first issue"),
+	})
+	if len(problems) != 0 {
+		t.Fatalf("clean diff expected, got %v", problems)
+	}
+}

@@ -74,12 +74,6 @@ func (r Result) String() string {
 		r.InitialCost, r.BestCost, r.Moves, r.Accepted, r.Uphill)
 }
 
-// Run anneals the problem and leaves it in its best-found state.
-func Run(p Problem, opt Options) Result {
-	res, _ := RunContext(context.Background(), p, opt)
-	return res
-}
-
 // ctxCheckEvery is how many accepted-or-rejected moves pass between
 // context polls. One poll per move would be prompt but wasteful; a small
 // batch keeps the cancellation latency at a handful of cost evaluations.

@@ -1,0 +1,11 @@
+package anneal
+
+import "context"
+
+// Run is the context-free test shim for RunContext: production callers
+// always thread a context (tqec-vet's ctxflow analyzer enforces it), and
+// an uncancelled run is bit-identical for the same seed.
+func Run(p Problem, opt Options) Result {
+	res, _ := RunContext(context.Background(), p, opt)
+	return res
+}

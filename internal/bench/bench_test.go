@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -136,7 +137,7 @@ func TestRunTable2SmallestRow(t *testing.T) {
 }
 
 func TestRunTable3SmallestRow(t *testing.T) {
-	rows, err := RunTable3(Small(1), Table3Options{Seed: 1, Effort: compress.EffortFast, SkipRouting: true})
+	rows, err := RunTable3(context.Background(), Small(1), Table3Options{Seed: 1, Effort: compress.EffortFast, SkipRouting: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestRunTable3SmallestRow(t *testing.T) {
 }
 
 func TestRunFig1(t *testing.T) {
-	r, err := RunFig1(1)
+	r, err := RunFig1(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestReportRoundTrip(t *testing.T) {
 }
 
 func TestRunEffortCurve(t *testing.T) {
-	pts, err := RunEffortCurve(Small(1)[0], 1, true)
+	pts, err := RunEffortCurve(context.Background(), Small(1)[0], 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestBenchmarkScaleInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := compress.CompileICM(rep, spec.Name, compress.Options{
+	res, err := compress.CompileICMContext(context.Background(), rep, spec.Name, compress.Options{
 		Mode: compress.Full, Seed: 1, SkipRouting: true,
 	}, time.Time{}, nil)
 	if err != nil {

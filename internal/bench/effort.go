@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -24,14 +25,14 @@ type EffortPoint struct {
 // RunEffortCurve compiles one workload at every effort level, quantifying
 // the quality-vs-runtime trade the paper's §4 discusses (the runtime
 // increase "taking more time to reach the estimated results").
-func RunEffortCurve(spec Spec, seed int64, skipRouting bool) ([]EffortPoint, error) {
+func RunEffortCurve(ctx context.Context, spec Spec, seed int64, skipRouting bool) ([]EffortPoint, error) {
 	var out []EffortPoint
 	for _, eff := range []compress.Effort{compress.EffortFast, compress.EffortNormal, compress.EffortHigh} {
 		rep, _, err := spec.GenerateICM(seed)
 		if err != nil {
 			return nil, err
 		}
-		res, err := compress.CompileICM(rep, spec.Name, compress.Options{
+		res, err := compress.CompileICMContext(ctx, rep, spec.Name, compress.Options{
 			Mode: compress.Full, Seed: seed, Effort: eff, SkipRouting: skipRouting,
 		}, time.Time{}, nil)
 		if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -98,14 +99,16 @@ type Table3Options struct {
 }
 
 // RunTable3 runs the full compression pipeline in both modes per spec.
-func RunTable3(specs []Spec, opt Table3Options) ([]Table3Row, error) {
+// Cancelling ctx stops the sweep at the next compile's iteration
+// boundary.
+func RunTable3(ctx context.Context, specs []Spec, opt Table3Options) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, s := range specs {
 		rep, _, err := s.GenerateICM(opt.Seed)
 		if err != nil {
 			return nil, err
 		}
-		hsu, err := compress.CompileICM(rep, s.Name, compress.Options{
+		hsu, err := compress.CompileICMContext(ctx, rep, s.Name, compress.Options{
 			Mode: compress.DualOnly, Seed: opt.Seed, Effort: opt.Effort, SkipRouting: opt.SkipRouting,
 		}, time.Time{}, nil)
 		if err != nil {
@@ -116,7 +119,7 @@ func RunTable3(specs []Spec, opt Table3Options) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ours, err := compress.CompileICM(rep2, s.Name, compress.Options{
+		ours, err := compress.CompileICMContext(ctx, rep2, s.Name, compress.Options{
 			Mode: compress.Full, Seed: opt.Seed, Effort: opt.Effort, SkipRouting: opt.SkipRouting,
 		}, time.Time{}, nil)
 		if err != nil {
@@ -151,24 +154,24 @@ type Fig1Result struct {
 }
 
 // RunFig1 compiles the 3-CNOT example in every mode of the ladder.
-func RunFig1(seed int64) (Fig1Result, error) {
+func RunFig1(ctx context.Context, seed int64) (Fig1Result, error) {
 	c, err := revlib.ParseString(revlib.Samples["threecnot"])
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	full, err := compress.Compile(c, compress.Options{
+	full, err := compress.CompileContext(ctx, c, compress.Options{
 		Mode: compress.Full, Seed: seed, Effort: compress.EffortNormal,
 	})
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	dual, err := compress.Compile(c, compress.Options{
+	dual, err := compress.CompileContext(ctx, c, compress.Options{
 		Mode: compress.DualOnly, Seed: seed, Effort: compress.EffortNormal,
 	})
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	deform, err := compress.Compile(c, compress.Options{
+	deform, err := compress.CompileContext(ctx, c, compress.Options{
 		Mode: compress.DeformOnly, Seed: seed, Effort: compress.EffortNormal,
 	})
 	if err != nil {

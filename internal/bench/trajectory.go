@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,7 +45,7 @@ type Trajectory struct {
 
 // RunTrajectory compiles every spec once in full mode and collects the
 // per-stage timings from Result.StageTimes.
-func RunTrajectory(tag string, specs []Spec, seed int64, effort compress.Effort, skipRouting bool) (Trajectory, error) {
+func RunTrajectory(ctx context.Context, tag string, specs []Spec, seed int64, effort compress.Effort, skipRouting bool) (Trajectory, error) {
 	traj := Trajectory{
 		Tag:         tag,
 		Version:     obs.Version(),
@@ -57,7 +58,7 @@ func RunTrajectory(tag string, specs []Spec, seed int64, effort compress.Effort,
 		if err != nil {
 			return traj, err
 		}
-		res, err := compress.CompileICM(rep, s.Name, compress.Options{
+		res, err := compress.CompileICMContext(ctx, rep, s.Name, compress.Options{
 			Mode: compress.Full, Seed: seed, Effort: effort, SkipRouting: skipRouting,
 		}, time.Time{}, nil)
 		if err != nil {

@@ -45,10 +45,10 @@ func DualNone(r *simplify.Result) *DualResult {
 	return d
 }
 
-// Dual performs iterative dual bridging over the part structure produced
-// by the I-shaped simplification. Two nets may bridge when they pass
-// through the same part (paper §3.4 — the split-part bookkeeping is what
-// prevents the illegal d0/d2 merge of Fig. 14), subject to:
+// DualContext performs iterative dual bridging over the part structure
+// produced by the I-shaped simplification. Two nets may bridge when they
+// pass through the same part (paper §3.4 — the split-part bookkeeping is
+// what prevents the illegal d0/d2 merge of Fig. 14), subject to:
 //
 //   - the no-extra-loop rule: nets already in one component cannot take a
 //     second bridge (one continuous common segment only, §2.4);
@@ -57,14 +57,10 @@ func DualNone(r *simplify.Result) *DualResult {
 //     forces its measurements into the same time slice.
 //
 // Passes repeat until no merge applies, making the result maximal.
-func Dual(r *simplify.Result) *DualResult {
-	return DualContext(context.Background(), r)
-}
-
-// DualContext is Dual with tracing support: when ctx carries an obs
-// tracer, every merge-iteration pass becomes a "dual-pass" sub-span
-// recording the merges it performed. The algorithm itself is unchanged
-// and ignores cancellation (passes are cheap and strictly decreasing).
+//
+// When ctx carries an obs tracer, every merge-iteration pass becomes a
+// "dual-pass" sub-span recording the merges it performed. The algorithm
+// ignores cancellation (passes are cheap and strictly decreasing).
 func DualContext(ctx context.Context, r *simplify.Result) *DualResult {
 	g := r.Graph
 	d := &DualResult{

@@ -1,0 +1,14 @@
+package bridge
+
+import (
+	"context"
+
+	"tqec/internal/simplify"
+)
+
+// Dual is the context-free test shim for DualContext: production callers
+// always thread a context (tqec-vet's ctxflow analyzer enforces it); the
+// algorithm ignores cancellation either way.
+func Dual(r *simplify.Result) *DualResult {
+	return DualContext(context.Background(), r)
+}

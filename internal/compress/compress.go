@@ -190,11 +190,6 @@ type StageTime struct {
 	Duration time.Duration
 }
 
-// Compile runs the pipeline on a (reversible or Clifford+T) circuit.
-func Compile(c *circuit.Circuit, opt Options) (*Result, error) {
-	return CompileContext(context.Background(), c, opt)
-}
-
 // CompileContext runs the pipeline under a context. Cancellation and
 // deadline expiry are observed at stage transitions and inside the two
 // iterative hot loops (placement annealing and routing negotiation), so
@@ -213,13 +208,8 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Resu
 	return CompileICMContext(ctx, rep, c.Name, opt, start, lowered.Circuit)
 }
 
-// CompileICM runs the pipeline from an already-built ICM representation.
-func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered *circuit.Circuit) (*Result, error) {
-	return CompileICMContext(context.Background(), rep, name, opt, start, lowered)
-}
-
-// CompileICMContext is CompileICM with cancellation support (see
-// CompileContext).
+// CompileICMContext runs the pipeline from an already-built ICM
+// representation, with cancellation support (see CompileContext).
 func CompileICMContext(ctx context.Context, rep *icm.Rep, name string, opt Options, start time.Time, lowered *circuit.Circuit) (*Result, error) {
 	if start.IsZero() {
 		start = time.Now()
@@ -568,9 +558,10 @@ const routeCellCapacity = 2
 
 // RoutePlacement routes the dual components of a finished placement and
 // returns the routing result (exposed for ablation studies and tools; the
-// pipeline calls it internally).
-func RoutePlacement(pl *place.Result, opt Options) (*route.Result, error) {
-	rr, _, _, _, err := routeNets(context.Background(), pl, opt)
+// pipeline calls it internally). Cancellation follows RouteContext: the
+// router stops at the next net boundary when ctx fires.
+func RoutePlacement(ctx context.Context, pl *place.Result, opt Options) (*route.Result, error) {
+	rr, _, _, _, err := routeNets(ctx, pl, opt)
 	return rr, err
 }
 

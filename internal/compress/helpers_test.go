@@ -1,0 +1,29 @@
+package compress
+
+import (
+	"context"
+	"time"
+
+	"tqec/internal/circuit"
+	"tqec/internal/icm"
+)
+
+// Context-free shims for the exercised pipeline entry points. Production
+// code always threads a caller context (tqec-vet's ctxflow analyzer
+// enforces it); tests run uncancelled, so the root context lives here.
+
+func Compile(c *circuit.Circuit, opt Options) (*Result, error) {
+	return CompileContext(context.Background(), c, opt)
+}
+
+func CompileICM(rep *icm.Rep, name string, opt Options, start time.Time, lowered *circuit.Circuit) (*Result, error) {
+	return CompileICMContext(context.Background(), rep, name, opt, start, lowered)
+}
+
+func CompileBest(c *circuit.Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
+	return CompileBestContext(context.Background(), c, opt, seeds, parallel)
+}
+
+func CompileBestICM(rep *icm.Rep, name string, opt Options, seeds []int64, parallel int) (*Result, error) {
+	return CompileBestICMContext(context.Background(), rep, name, opt, seeds, parallel)
+}

@@ -52,12 +52,12 @@ func (e *AllSeedsFailedError) Unwrap() []error {
 	return errs
 }
 
-// CompileBest runs the pipeline once per seed, in parallel, and returns
-// the result with the smallest final volume (ties broken by the earliest
-// seed, so the output is deterministic). Every run is fully independent —
-// simulated-annealing restarts are the classic defence against local
-// minima, which the paper inherits from Paetznick & Fowler's SA-based
-// compaction.
+// CompileBestContext runs the pipeline once per seed, in parallel, and
+// returns the result with the smallest final volume (ties broken by the
+// earliest seed, so the output is deterministic). Every run is fully
+// independent — simulated-annealing restarts are the classic defence
+// against local minima, which the paper inherits from Paetznick &
+// Fowler's SA-based compaction.
 //
 // parallel bounds the number of concurrent runs; 0 selects GOMAXPROCS.
 //
@@ -65,14 +65,9 @@ func (e *AllSeedsFailedError) Unwrap() []error {
 // succeeds: the best surviving result is returned with Result.SeedsTried
 // and Result.SeedErrors recording the partial failures. When every seed
 // fails the returned error is an *AllSeedsFailedError aggregating the
-// per-seed causes.
-func CompileBest(c *circuit.Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
-	return CompileBestContext(context.Background(), c, opt, seeds, parallel)
-}
-
-// CompileBestContext is CompileBest under a context: cancellation stops
-// every in-flight seed at its next iteration boundary and the context's
-// error is returned directly (not wrapped in an aggregate).
+// per-seed causes. Cancellation stops every in-flight seed at its next
+// iteration boundary and the context's error is returned directly (not
+// wrapped in an aggregate).
 func CompileBestContext(ctx context.Context, c *circuit.Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
 	return bestOf(ctx, seeds, parallel, func(ctx context.Context, seed int64) (*Result, error) {
 		runOpt := opt
@@ -81,15 +76,9 @@ func CompileBestContext(ctx context.Context, c *circuit.Circuit, opt Options, se
 	})
 }
 
-// CompileBestICM is CompileBest over a pre-built ICM representation. The
-// representation is read-only across the pipeline, so the runs may share
-// it.
-func CompileBestICM(rep *icm.Rep, name string, opt Options, seeds []int64, parallel int) (*Result, error) {
-	return CompileBestICMContext(context.Background(), rep, name, opt, seeds, parallel)
-}
-
-// CompileBestICMContext is CompileBestICM with cancellation support (see
-// CompileBestContext).
+// CompileBestICMContext is CompileBestContext over a pre-built ICM
+// representation. The representation is read-only across the pipeline,
+// so the runs may share it.
 func CompileBestICMContext(ctx context.Context, rep *icm.Rep, name string, opt Options, seeds []int64, parallel int) (*Result, error) {
 	return bestOf(ctx, seeds, parallel, func(ctx context.Context, seed int64) (*Result, error) {
 		runOpt := opt

@@ -7,6 +7,7 @@ package drc_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestSamplesCompileClean(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := compress.Compile(c, compress.Options{Seed: 1, DRC: true, KeepGeometry: true})
+			res, err := compress.CompileContext(context.Background(), c, compress.Options{Seed: 1, DRC: true, KeepGeometry: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +48,7 @@ func TestSkipRoutingSkipsDownstreamRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := compress.Compile(c, compress.Options{Seed: 1, DRC: true, SkipRouting: true})
+	res, err := compress.CompileContext(context.Background(), c, compress.Options{Seed: 1, DRC: true, SkipRouting: true})
 	if err != nil {
 		t.Fatal(err)
 	}

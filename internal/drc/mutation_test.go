@@ -8,6 +8,7 @@ package drc_test
 // pipeline.
 
 import (
+	"context"
 	"testing"
 
 	"tqec/internal/bridge"
@@ -28,7 +29,7 @@ func goodArtifacts(t *testing.T, sample string) *drc.Artifacts {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := compress.Compile(c, compress.Options{Seed: 1, KeepGeometry: true})
+	res, err := compress.CompileContext(context.Background(), c, compress.Options{Seed: 1, KeepGeometry: true})
 	if err != nil {
 		t.Fatal(err)
 	}

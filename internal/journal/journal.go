@@ -87,15 +87,15 @@ const subBuffer = 1024
 // core is the shared state behind every seed-stamped view of a recorder.
 type core struct {
 	mu      sync.Mutex
-	start   time.Time
-	seq     int64
-	max     int
-	head    int // ring start index within events
-	events  []Event
-	dropped int64
-	subs    map[int]*subscriber
-	nextSub int
-	closed  bool
+	start   time.Time           // immutable after NewRecorder
+	max     int                 // immutable after NewRecorder
+	seq     int64               // guarded by mu
+	head    int                 // guarded by mu; ring start index within events
+	events  []Event             // guarded by mu
+	dropped int64               // guarded by mu
+	nextSub int                 // guarded by mu
+	closed  bool                // guarded by mu
+	subs    map[int]*subscriber // guarded by mu
 }
 
 type subscriber struct {

@@ -45,9 +45,9 @@ var DefaultLatencyBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
 type Histogram struct {
 	mu     sync.Mutex
 	bounds []float64
-	counts []int64 // len(bounds)+1; the last is +Inf
-	sum    float64
-	n      int64
+	counts []int64 // guarded by mu; len(bounds)+1; the last is +Inf
+	sum    float64 // guarded by mu
+	n      int64   // guarded by mu
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds
@@ -100,7 +100,7 @@ type HistogramVec struct {
 	mu     sync.Mutex
 	label  string
 	bounds []float64
-	series map[string]*Histogram
+	series map[string]*Histogram // guarded by mu
 }
 
 // With returns (creating on first use) the child histogram for a label
@@ -173,8 +173,8 @@ type family struct {
 // panics: metric names are stable identifiers, like DRC rule names.
 type Registry struct {
 	mu     sync.Mutex
-	fams   []*family
-	byName map[string]*family
+	fams   []*family          // guarded by mu
+	byName map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

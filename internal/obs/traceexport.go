@@ -47,6 +47,9 @@ func spanJSON(s *Span, epoch time.Time) *SpanJSON {
 
 // WriteJSON writes the nested span-tree JSON form.
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(t.Tree())
@@ -118,6 +121,9 @@ func (t *Tracer) ChromeTrace() []ChromeEvent {
 // WriteChromeTrace writes the trace in Chrome trace_event JSON-array
 // format, loadable in chrome://tracing and https://ui.perfetto.dev.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(t.ChromeTrace())
 }

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"testing"
 
 	"tqec/internal/bridge"
@@ -31,7 +32,7 @@ func BenchmarkRunPlacement(b *testing.B) {
 	}
 	s := simplify.Run(g, simplify.Options{})
 	p := bridge.Primal(s, nil)
-	d := bridge.Dual(s)
+	d := bridge.DualContext(context.Background(), s)
 	in, err := BuildItems(g, s, p, d)
 	if err != nil {
 		b.Fatal(err)
@@ -59,7 +60,7 @@ func BenchmarkCompact(b *testing.B) {
 	g, _ := pdgraph.New(rep)
 	s := simplify.Run(g, simplify.Options{})
 	p := bridge.Primal(s, nil)
-	d := bridge.Dual(s)
+	d := bridge.DualContext(context.Background(), s)
 	in, _ := BuildItems(g, s, p, d)
 	base, err := Run(in, Options{Seed: 1, MaxMoves: 6000})
 	if err != nil {

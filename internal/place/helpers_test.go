@@ -1,0 +1,10 @@
+package place
+
+import "context"
+
+// Run is the context-free test shim for RunContext: production callers
+// always thread a context (tqec-vet's ctxflow analyzer enforces it);
+// tests run uncancelled.
+func Run(in *Input, opt Options) (*Result, error) {
+	return RunContext(context.Background(), in, opt)
+}

@@ -389,11 +389,6 @@ func (p *problem) Restore(snap any) {
 	}
 }
 
-// Run executes the placement stage.
-func Run(in *Input, opt Options) (*Result, error) {
-	return RunContext(context.Background(), in, opt)
-}
-
 // RunContext executes the placement stage under a context: the annealer
 // polls ctx at move-batch boundaries and the stage returns ctx's error
 // (with no result) when it is cancelled or times out mid-anneal.

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func buildInput(t *testing.T, c *circuit.Circuit, dualOnly bool) *Input {
 	} else {
 		p = bridge.Primal(s, nil)
 	}
-	d := bridge.Dual(s)
+	d := bridge.DualContext(context.Background(), s)
 	in, err := BuildItems(g, s, p, d)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,10 @@
+package route
+
+import "context"
+
+// Route is the context-free test shim for RouteContext: production
+// callers always thread a context (tqec-vet's ctxflow analyzer enforces
+// it); tests run uncancelled.
+func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
+	return RouteContext(context.Background(), g, nets, opt)
+}

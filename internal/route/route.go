@@ -161,11 +161,6 @@ type Result struct {
 	Iters int
 }
 
-// Route runs the negotiated router over all nets.
-func Route(g *Grid, nets []Net, opt Options) (*Result, error) {
-	return RouteContext(context.Background(), g, nets, opt)
-}
-
 // RouteContext runs the negotiated router under a context. Cancellation
 // is polled at every negotiation round and before each net's rip-up and
 // reroute inside a round, so a timed-out or cancelled compile stops at
@@ -341,17 +336,24 @@ func (g *Grid) routeNet(n Net, opt Options) []Cell {
 	if len(n.Pins) == 0 {
 		return nil
 	}
+	// treeOrder mirrors the tree set in insertion order: the heuristic
+	// sample below must not depend on map iteration order, or the routed
+	// wirelength varies run to run for the same seed.
 	tree := map[Cell]bool{n.Pins[0]: true}
+	treeOrder := []Cell{n.Pins[0]}
 	for _, pin := range n.Pins[1:] {
 		if tree[pin] {
 			continue
 		}
-		path := g.astarToSet(pin, tree, opt)
+		path := g.astarToSet(pin, tree, treeOrder, opt)
 		if path == nil {
 			return nil
 		}
 		for _, c := range path {
-			tree[c] = true
+			if !tree[c] {
+				tree[c] = true
+				treeOrder = append(treeOrder, c)
+			}
 		}
 	}
 	cells := make([]Cell, 0, len(tree))
@@ -376,7 +378,7 @@ func (g *Grid) routeNet(n Net, opt Options) []Cell {
 
 // astarToSet finds a cheapest path from src to any cell of targets within
 // a restricted region, growing the region on failure.
-func (g *Grid) astarToSet(src Cell, targets map[Cell]bool, opt Options) []Cell {
+func (g *Grid) astarToSet(src Cell, targets map[Cell]bool, targetOrder []Cell, opt Options) []Cell {
 	// Region: bbox of src and targets.
 	lo, hi := src, src
 	for t := range targets {
@@ -386,7 +388,7 @@ func (g *Grid) astarToSet(src Cell, targets map[Cell]bool, opt Options) []Cell {
 	for inflate := opt.RegionInflate; ; inflate *= 2 {
 		rlo := Cell{max(0, lo.X-inflate), max(0, lo.Y-inflate), max(0, lo.Z-inflate)}
 		rhi := Cell{min(g.NX-1, hi.X+inflate), min(g.NY-1, hi.Y+inflate), min(g.NZ-1, hi.Z+inflate)}
-		if path := g.astarRegion(src, targets, rlo, rhi, opt); path != nil {
+		if path := g.astarRegion(src, targets, targetOrder, rlo, rhi, opt); path != nil {
 			return path
 		}
 		// Stop once the region covers the whole grid.
@@ -410,17 +412,21 @@ func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i]; p[i].index = i; p[j].
 func (p *pq) Push(x any)        { it := x.(*pqItem); it.index = len(*p); *p = append(*p, it) }
 func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
 
-func (g *Grid) astarRegion(src Cell, targets map[Cell]bool, rlo, rhi Cell, opt Options) []Cell {
+func (g *Grid) astarRegion(src Cell, targets map[Cell]bool, targetOrder []Cell, rlo, rhi Cell, opt Options) []Cell {
 	// For large target trees, scanning every target per heuristic
-	// evaluation dominates; sample a bounded subset. The sampled heuristic
-	// can overestimate slightly (the true nearest target may be unsampled),
-	// trading strict A* optimality for speed — acceptable inside the
-	// negotiated router.
-	sample := make([]Cell, 0, 24)
-	for t := range targets {
-		sample = append(sample, t)
-		if len(sample) == cap(sample) {
-			break
+	// evaluation dominates; sample a bounded subset, strided over the
+	// insertion-ordered target list so the pick is deterministic AND
+	// spread across the tree (a map-range pick here made routed
+	// wirelength vary run to run). The sampled heuristic can overestimate
+	// slightly (the true nearest target may be unsampled), trading strict
+	// A* optimality for speed — acceptable inside the negotiated router.
+	const maxSample = 24
+	sample := targetOrder
+	if len(targetOrder) > maxSample {
+		sample = make([]Cell, 0, maxSample)
+		stride := len(targetOrder) / maxSample
+		for i := 0; i < len(targetOrder) && len(sample) < maxSample; i += stride {
+			sample = append(sample, targetOrder[i])
 		}
 	}
 	h := func(c Cell) float64 {

@@ -188,17 +188,19 @@ type Server struct {
 	started    time.Time // process uptime anchor for /healthz
 
 	mu       sync.Mutex
-	jobs     map[string]*Job
-	nextID   int
-	finished []string // terminal job IDs, oldest first, for retention pruning
-	draining bool
-	closed   bool
+	jobs     map[string]*Job // guarded by mu
+	nextID   int             // guarded by mu
+	finished []string        // guarded by mu; terminal job IDs, oldest first, for retention pruning
+	draining bool            // guarded by mu
+	closed   bool            // guarded by mu
 	queue    chan *Job
 	workers  sync.WaitGroup
 }
 
-// New starts the worker pool and returns the service.
-func New(cfg Config) *Server {
+// New starts the worker pool and returns the service. ctx is the
+// server's root context: cancelling it cancels every queued and running
+// job (Shutdown additionally drains the pool gracefully).
+func New(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := newMetrics()
 	s := &Server{
@@ -210,7 +212,7 @@ func New(cfg Config) *Server {
 		compile: compress.CompileBestContext,
 		started: time.Now(),
 	}
-	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	s.rootCtx, s.rootCancel = context.WithCancel(ctx)
 	s.mux = s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)

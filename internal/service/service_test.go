@@ -28,7 +28,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
 	}
-	svc := New(cfg)
+	svc := New(context.Background(), cfg)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

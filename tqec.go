@@ -118,7 +118,9 @@ type Options = compress.Options
 type Result = compress.Result
 
 // Compile runs the seven-stage compression pipeline on a circuit.
-func Compile(c *Circuit, opt Options) (*Result, error) { return compress.Compile(c, opt) }
+func Compile(c *Circuit, opt Options) (*Result, error) {
+	return compress.CompileContext(context.Background(), c, opt)
+}
 
 // CompileContext is Compile with cancellation support: ctx is polled at
 // stage transitions and inside the annealing and routing hot loops, so a
@@ -136,7 +138,7 @@ func CompileContext(ctx context.Context, c *Circuit, opt Options) (*Result, erro
 // when every seed fails the error is a *compress.AllSeedsFailedError
 // aggregating the per-seed causes.
 func CompileBest(c *Circuit, opt Options, seeds []int64, parallel int) (*Result, error) {
-	return compress.CompileBest(c, opt, seeds, parallel)
+	return compress.CompileBestContext(context.Background(), c, opt, seeds, parallel)
 }
 
 // CompileBestContext is CompileBest with cancellation support (see
