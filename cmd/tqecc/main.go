@@ -8,6 +8,7 @@
 //	tqecc -in circuit.real -mode dual -effort high
 //	tqecc -bench 4gt10-v1_81 -skip-routing
 //	tqecc -text circuit.tqc -viz
+//	tqecc -sample threecnot -server http://localhost:8142   # compile on a daemon/fleet
 package main
 
 import (
@@ -46,8 +47,33 @@ func main() {
 		explain     = flag.Bool("explain", false, "print the compression journal: the per-stage volume waterfall, anneal/route trajectories, and warnings")
 		explainJSON = flag.String("explain-json", "", "write the compression journal as JSON to this file (implies journaling)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address while compiling (e.g. localhost:6060)")
+		server      = flag.String("server", "", "submit to a running tqecd (or fleet coordinator) at this base URL instead of compiling in-process")
+		noCache     = flag.Bool("no-cache", false, "with -server: skip the daemon's result cache for this job")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if *viz || *traceOut != "" || *explain || *explainJSON != "" {
+			fmt.Fprintln(os.Stderr, "tqecc: -viz, -trace, and -explain* compile locally; they cannot combine with -server")
+			os.Exit(1)
+		}
+		os.Exit(runRemote(remoteFlags{
+			server:      *server,
+			inReal:      *inReal,
+			inText:      *inText,
+			sample:      *sample,
+			benchName:   *benchName,
+			mode:        *mode,
+			effort:      *effort,
+			seed:        *seed,
+			skipRouting: *skipRouting,
+			measSide:    *measSide,
+			runDRC:      *runDRC,
+			timeout:     *timeout,
+			jsonOut:     *jsonOut,
+			noCache:     *noCache,
+		}))
+	}
 
 	if *debugAddr != "" {
 		go func() {

@@ -20,6 +20,16 @@
 //	tqecd -debug-addr localhost:6060                         # net/http/pprof
 //	tqecd -log-level debug -log-format json                  # structured logs
 //
+// Fleet mode scales tqecd horizontally while keeping the wire API:
+//
+//	tqecd -role coordinator -addr :8142                          # front door
+//	tqecd -role worker -addr :8143 -coordinator http://host:8142 # compile node
+//
+// A coordinator serves the same /v1/jobs API and dispatches every job to
+// a registered worker, routing by cache-key rendezvous hash (affinity)
+// and failing over when a worker dies. The default role, standalone, is
+// the unchanged single-process daemon.
+//
 // SIGINT/SIGTERM triggers a graceful drain: in-flight compiles finish
 // (up to -drain-grace), then the process exits.
 package main
@@ -29,12 +39,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"tqec/internal/fleet"
 	"tqec/internal/obs"
 	"tqec/internal/service"
 )
@@ -53,6 +66,16 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logFormat  = flag.String("log-format", "text", "log format: text | json")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); off when empty")
+
+		role        = flag.String("role", "standalone", "fleet role: standalone | coordinator | worker")
+		coordinator = flag.String("coordinator", "", "coordinator base URL (worker role)")
+		advertise   = flag.String("advertise", "", "base URL the coordinator should dispatch to (worker role; default http://<addr> with localhost for a wildcard host)")
+		workerID    = flag.String("worker-id", "", "stable worker identity for rendezvous routing (worker role; default hostname:port)")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "worker heartbeat cadence (coordinator role)")
+		suspectAge  = flag.Duration("suspect-after", 0, "heartbeat age that makes a worker suspect (coordinator role; 0 = 3x heartbeat)")
+		deadAge     = flag.Duration("dead-after", 0, "heartbeat age that declares a worker dead and fails over its jobs (coordinator role; 0 = 3x suspect-after)")
+		dispatchTry = flag.Int("dispatch-attempts", 3, "dispatch rounds (initial + retries + failovers) per job before it fails (coordinator role)")
+		pollEvery   = flag.Duration("poll-interval", 200*time.Millisecond, "status-poll cadence for dispatched jobs (coordinator role)")
 	)
 	flag.Parse()
 
@@ -71,7 +94,7 @@ func main() {
 		}()
 	}
 
-	svc := service.New(context.Background(), service.Config{
+	svcConfig := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cacheSize,
@@ -80,12 +103,62 @@ func main() {
 		MaxFinishedJobs: *retain,
 		JournalEvents:   *journalEvs,
 		Logger:          logger,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	}
+
+	switch *role {
+	case "standalone", "worker":
+		svc := service.New(context.Background(), svcConfig)
+		var agent *fleet.Agent
+		if *role == "worker" {
+			if *coordinator == "" {
+				fmt.Fprintln(os.Stderr, "tqecd: -role worker requires -coordinator")
+				os.Exit(2)
+			}
+			agent, err = fleet.StartAgent(context.Background(), fleet.AgentConfig{
+				CoordinatorURL:    *coordinator,
+				WorkerID:          defaultWorkerID(*workerID, *addr),
+				AdvertiseURL:      defaultAdvertise(*advertise, *addr),
+				Stats:             func() (int, int) { s := svc.Stats(); return s.Running, s.Queued },
+				HeartbeatInterval: *heartbeat,
+				Logger:            logger,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tqecd:", err)
+				os.Exit(2)
+			}
+		}
+		serve(*addr, svc.Handler(), logger, *drainGrace, func(ctx context.Context) error {
+			if agent != nil {
+				agent.Stop()
+			}
+			return svc.Shutdown(ctx)
+		})
+	case "coordinator":
+		coord := fleet.NewCoordinator(context.Background(), fleet.Config{
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAge,
+			DeadAfter:         *deadAge,
+			DispatchAttempts:  *dispatchTry,
+			PollInterval:      *pollEvery,
+			MaxFinishedJobs:   *retain,
+			JournalEvents:     *journalEvs,
+			Logger:            logger,
+		})
+		serve(*addr, coord.Handler(), logger, *drainGrace, coord.Shutdown)
+	default:
+		fmt.Fprintf(os.Stderr, "tqecd: unknown role %q (standalone | coordinator | worker)\n", *role)
+		os.Exit(2)
+	}
+}
+
+// serve runs the HTTP listener until SIGINT/SIGTERM, then drains: the
+// listener closes first, then shutdown runs with the drain grace.
+func serve(addr string, h http.Handler, logger *slog.Logger, grace time.Duration, shutdown func(context.Context) error) {
+	httpSrv := &http.Server{Addr: addr, Handler: h}
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr, "version", obs.Version())
+		logger.Info("listening", "addr", addr, "version", obs.Version())
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -94,14 +167,14 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		logger.Info("draining", "signal", sig.String(), "grace", *drainGrace)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		logger.Info("draining", "signal", sig.String(), "grace", grace)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		// Stop accepting connections first, then drain the job queue.
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Error("http shutdown", "err", err)
 		}
-		if err := svc.Shutdown(ctx); err != nil {
+		if err := shutdown(ctx); err != nil {
 			logger.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}
@@ -112,4 +185,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// defaultAdvertise derives the dispatch URL from the listen address when
+// -advertise is not set: a wildcard or empty host becomes localhost,
+// which is right for single-machine fleets and must be overridden for
+// anything else.
+func defaultAdvertise(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	host, port := splitHostPort(addr)
+	if host == "" || host == "0.0.0.0" || host == "::" || host == "[::]" {
+		host = "localhost"
+	}
+	return "http://" + host + ":" + port
+}
+
+// defaultWorkerID derives a stable identity from the hostname and
+// listen port when -worker-id is not set.
+func defaultWorkerID(id, addr string) string {
+	if id != "" {
+		return id
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	_, port := splitHostPort(addr)
+	return host + ":" + port
+}
+
+// splitHostPort splits a listen address on the final colon (good enough
+// for host:port and :port forms, including bracketed IPv6 hosts).
+func splitHostPort(addr string) (host, port string) {
+	i := strings.LastIndex(addr, ":")
+	if i < 0 {
+		return addr, ""
+	}
+	return addr[:i], addr[i+1:]
 }

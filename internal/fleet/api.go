@@ -1,0 +1,410 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"tqec/internal/journal"
+	"tqec/internal/obs"
+	"tqec/internal/service"
+)
+
+// errorResponse mirrors the service's error body so clients (and the
+// shared service.Client) see one wire shape fleet-wide.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// jobStatusResponse is the coordinator's job status: the standard
+// service.JobStatus plus fleet-only placement detail. The additions are
+// strictly additive — a client decoding service.JobStatus sees exactly
+// the single-process API.
+type jobStatusResponse struct {
+	service.JobStatus
+	// Worker is the ID of the worker currently (or last) owning the job.
+	Worker string `json:"worker,omitempty"`
+	// Retries counts dispatch retries and failovers this job consumed.
+	Retries int `json:"retries,omitempty"`
+}
+
+// jobListResponse mirrors service.JobList with the extended statuses.
+type jobListResponse struct {
+	Jobs  []jobStatusResponse `json:"jobs"`
+	Total int                 `json:"total"`
+}
+
+// RegisterRequest is the POST /fleet/v1/register body a worker agent
+// sends on startup (and again whenever its heartbeat gets a 404,
+// meaning the coordinator restarted and lost the registry).
+type RegisterRequest struct {
+	// ID is the worker's stable identity — the rendezvous-hash input, so
+	// keeping it across restarts preserves the worker's share of the key
+	// space (and its cache's usefulness).
+	ID string `json:"id"`
+	// URL is the worker's advertised base URL, reachable from the
+	// coordinator.
+	URL string `json:"url"`
+}
+
+// RegisterResponse tells the worker how to behave as a fleet member.
+type RegisterResponse struct {
+	// HeartbeatIntervalMS is the cadence the coordinator expects beats at.
+	HeartbeatIntervalMS float64 `json:"heartbeat_interval_ms"`
+}
+
+// HeartbeatRequest is the POST /fleet/v1/heartbeat body: identity plus
+// the worker's own load report.
+type HeartbeatRequest struct {
+	ID      string `json:"id"`
+	Running int    `json:"running"`
+	Queued  int    `json:"queued"`
+}
+
+// WorkersResponse is the GET /fleet/v1/workers body.
+type WorkersResponse struct {
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// FleetHealth is the coordinator's GET /healthz body.
+type FleetHealth struct {
+	Status         string  `json:"status"`
+	Role           string  `json:"role"`
+	Version        string  `json:"version"`
+	UptimeMS       float64 `json:"uptime_ms"`
+	WorkersAlive   int     `json:"workers_alive"`
+	WorkersSuspect int     `json:"workers_suspect"`
+	WorkersTotal   int     `json:"workers_total"`
+	JobsInflight   int64   `json:"jobs_inflight"`
+}
+
+func (c *Coordinator) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/journal", c.handleJournal)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("POST /fleet/v1/register", c.handleRegister)
+	mux.HandleFunc("POST /fleet/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /fleet/v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	// Validate and compute the cache key coordinator-side: a malformed
+	// submission fails here with the same message a worker would produce,
+	// and the key drives affinity routing.
+	name, key, err := req.Resolve()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	j := c.newJob(name, key, req)
+	if j == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "coordinator draining"})
+		return
+	}
+	c.metrics.jobsSubmitted.Inc()
+	c.wg.Add(1)
+	go c.supervise(j)
+	c.logJob(j, "submitted", "key", key[:12])
+	writeJSON(w, http.StatusAccepted, c.status(j))
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	filter := service.State(q.Get("state"))
+	switch filter {
+	case "", service.StateQueued, service.StateRunning, service.StateDone,
+		service.StateFailed, service.StateCanceled:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown state %q", filter)})
+		return
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := parseNonNegative(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad limit %q", v)})
+			return
+		}
+		limit = n
+	}
+
+	c.mu.Lock()
+	matched := make([]*job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		if filter == "" || j.state == filter {
+			matched = append(matched, j)
+		}
+	}
+	// Newest first; IDs are zero-padded monotonic (f000001, f000002, …).
+	sort.Slice(matched, func(a, b int) bool {
+		if len(matched[a].id) != len(matched[b].id) {
+			return len(matched[a].id) > len(matched[b].id)
+		}
+		return matched[a].id > matched[b].id
+	})
+	out := jobListResponse{Total: len(matched), Jobs: []jobStatusResponse{}}
+	for _, j := range matched {
+		if limit > 0 && len(out.Jobs) >= limit {
+			break
+		}
+		out.Jobs = append(out.Jobs, c.statusLocked(j))
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status(j))
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	c.mu.Lock()
+	state, errMsg, payload := j.state, j.errMsg, j.payload
+	c.mu.Unlock()
+	if state != service.StateDone || payload == nil {
+		msg := fmt.Sprintf("job is %s, no result", state)
+		if errMsg != "" {
+			msg += ": " + errMsg
+		}
+		writeJSON(w, http.StatusConflict, errorResponse{Error: msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	if st, ok := c.requestCancel(r.Context(), j); !ok {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job already %s", st)})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status(j))
+}
+
+// handleJournal serves the coordinator's dispatch journal once the job
+// is terminal: which worker ran it, every retry and failover, and the
+// terminal state. The compile-pipeline journal lives on the worker and
+// streams through /v1/jobs/{id}/events.
+func (c *Coordinator) handleJournal(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	c.mu.Lock()
+	state, rec := j.state, j.recorder
+	id, name := j.id, j.name
+	c.mu.Unlock()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "journaling disabled (coordinator started with journal events < 0)"})
+		return
+	}
+	if !state.Terminal() {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job is %s, journal not final (stream /v1/jobs/%s/events)", state, id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, service.JournalResponse{
+		ID:            id,
+		Name:          name,
+		State:         state,
+		Events:        rec.Events(),
+		EventsDropped: rec.Dropped(),
+	})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "register: id is required"})
+		return
+	}
+	if u, err := url.Parse(req.URL); err != nil || u.Scheme == "" || u.Host == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("register: url %q must be absolute (http://host:port)", req.URL)})
+		return
+	}
+	c.reg.register(req.ID, req.URL)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		HeartbeatIntervalMS: ms(c.cfg.HeartbeatInterval),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if !c.reg.heartbeat(req.ID, req.Running, req.Queued) {
+		// Unknown worker: the coordinator restarted (or never saw this
+		// worker). The 404 is the re-register signal the agent acts on.
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown worker %q, re-register", req.ID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	workers := c.reg.snapshot()
+	sort.Slice(workers, func(a, b int) bool { return workers[a].ID < workers[b].ID })
+	writeJSON(w, http.StatusOK, WorkersResponse{Workers: workers})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	workers := c.reg.snapshot()
+	h := FleetHealth{
+		Status:       "ok",
+		Role:         "coordinator",
+		Version:      obs.Version(),
+		UptimeMS:     ms(time.Since(c.started)),
+		WorkersTotal: len(workers),
+		JobsInflight: c.metrics.jobsInflight.Value(),
+	}
+	for _, wk := range workers {
+		switch wk.State {
+		case WorkerAlive:
+			h.WorkersAlive++
+		case WorkerSuspect:
+			h.WorkersSuspect++
+		}
+	}
+	code := http.StatusOK
+	if closed {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// jobByID looks a job up under the lock.
+func (c *Coordinator) jobByID(id string) (*job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// status renders a job under the coordinator lock.
+func (c *Coordinator) status(j *job) jobStatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked(j)
+}
+
+// statusLocked renders a job; the caller holds c.mu. Timing fields
+// mirror the owning worker's view (its QueuedMS/RunMS), so a worker
+// cache hit still reads RunMS=0 through the coordinator.
+func (c *Coordinator) statusLocked(j *job) jobStatusResponse {
+	st := jobStatusResponse{
+		JobStatus: service.JobStatus{
+			ID:       j.id,
+			Name:     j.name,
+			State:    j.state,
+			Cached:   j.cached,
+			Error:    j.errMsg,
+			CacheKey: j.key,
+		},
+		Worker:  j.workerID,
+		Retries: j.retries,
+	}
+	if j.remoteID != "" {
+		st.QueuedMS = j.remote.QueuedMS
+		st.RunMS = j.remote.RunMS
+	} else if j.state == service.StateQueued {
+		st.QueuedMS = ms(time.Since(j.submitted))
+	}
+	return st
+}
+
+// newJob registers a job in the queued state; it returns nil once the
+// coordinator is draining (see Shutdown).
+func (c *Coordinator) newJob(name, key string, req service.SubmitRequest) *job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.nextID++
+	j := &job{
+		id:        fmt.Sprintf("f%06d", c.nextID),
+		name:      name,
+		key:       key,
+		req:       req,
+		submitted: time.Now(),
+		cancelCh:  make(chan struct{}),
+		state:     service.StateQueued,
+	}
+	if c.cfg.JournalEvents > 0 {
+		j.recorder = journal.NewRecorder(c.cfg.JournalEvents)
+		j.recorder.JobState(string(service.StateQueued), "")
+	}
+	c.jobs[j.id] = j
+	return j
+}
+
+// parseNonNegative parses a non-negative integer query parameter.
+func parseNonNegative(s string) (int, error) {
+	n := 0
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("not a non-negative integer")
+		}
+		n = n*10 + int(r-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("too large")
+		}
+	}
+	return n, nil
+}
+
+// ms converts a duration to float milliseconds (the wire unit).
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

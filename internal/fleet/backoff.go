@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays. It is a value
+// type: copy it freely, configure the exported fields, and call Delay
+// with a 0-based attempt number. The zero value selects the defaults
+// below. Both the dispatch-retry path in the coordinator and the
+// worker's re-registration loop after a coordinator restart share this
+// one policy, so the fleet's retry storms stay de-synchronized the same
+// way everywhere.
+type Backoff struct {
+	// Base is the delay for attempt 0 (default 100ms).
+	Base time.Duration
+	// Max caps the un-jittered delay (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized, in [0, 1]
+	// (default 0.5): the delay is drawn uniformly from
+	// [d·(1−Jitter), d]. Full-range jitter at 1; a negative value
+	// disables jitter entirely (exact exponential delays).
+	Jitter float64
+	// Rand supplies uniform values in [0, 1). Nil selects the shared
+	// math/rand source; tests inject a seeded rand.New(...).Float64 for
+	// reproducible sequences.
+	Rand func() float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	switch {
+	case b.Jitter < 0:
+		b.Jitter = 0
+	case b.Jitter == 0:
+		b.Jitter = 0.5
+	case b.Jitter > 1:
+		b.Jitter = 1
+	}
+	if b.Rand == nil {
+		b.Rand = rand.Float64
+	}
+	return b
+}
+
+// Delay returns the jittered delay for the given 0-based attempt:
+// Base·Factor^attempt, capped at Max, then scaled down by up to Jitter.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	d *= 1 - b.Jitter*b.Rand()
+	return time.Duration(d)
+}
+
+// Sleep blocks for Delay(attempt) or until ctx is done, returning
+// ctx.Err() in the latter case. This is the cancellable form every
+// retry loop in the fleet uses, so a coordinator shutdown or a job
+// cancellation never waits out a backoff.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

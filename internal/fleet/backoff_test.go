@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// noJitter pins the random scale to its maximum so delays are exact.
+func noJitter() float64 { return 0 }
+
+func TestBackoffExponentialGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Rand: noJitter}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second, // stays capped
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %s, want %s", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterRange(t *testing.T) {
+	// A seeded source makes the sequence reproducible; every draw must
+	// land in [d·(1−Jitter), d].
+	rng := rand.New(rand.NewSource(42))
+	b := Backoff{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: 0.5, Rand: rng.Float64}
+	for attempt := 0; attempt < 6; attempt++ {
+		lo := time.Duration(float64(time.Second) * 0.5 * float64(int(1)<<attempt))
+		hi := 2 * lo
+		for i := 0; i < 100; i++ {
+			d := b.Delay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("Delay(%d) = %s outside [%s, %s]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffJitterIsConsumed(t *testing.T) {
+	// Two seeded sources with the same seed must produce identical
+	// sequences; different seeds must diverge somewhere.
+	mk := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		b := Backoff{Base: time.Second, Rand: rng.Float64}
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Delay(2)
+		}
+		return out
+	}
+	a, b2, c := mk(7), mk(7), mk(8)
+	same := true
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b2[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestBackoffNegativeJitterDisables(t *testing.T) {
+	// Jitter < 0 means "no jitter": the delay is the exact exponential
+	// even though a random source is present.
+	rng := rand.New(rand.NewSource(1))
+	b := Backoff{Base: 50 * time.Millisecond, Jitter: -1, Rand: rng.Float64}
+	for attempt := 0; attempt < 4; attempt++ {
+		want := time.Duration(50*time.Millisecond) << attempt
+		if got := b.Delay(attempt); got != want {
+			t.Errorf("Delay(%d) = %s, want exact %s", attempt, got, want)
+		}
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Delay(0)
+	// Default Base 100ms with default Jitter 0.5: [50ms, 100ms].
+	if d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("zero-value Delay(0) = %s, want within [50ms, 100ms]", d)
+	}
+	if d = b.Delay(1000); d > 5*time.Second {
+		t.Fatalf("zero-value Delay(1000) = %s, want capped at 5s", d)
+	}
+}
+
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Sleep returned nil after context cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after context cancellation")
+	}
+}

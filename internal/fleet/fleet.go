@@ -1,0 +1,249 @@
+// Package fleet turns tqecd into a horizontally scaled compile fleet: a
+// coordinator that exposes the existing /v1/jobs API unchanged and
+// dispatches every submission over HTTP to registered workers, each of
+// which is an ordinary single-process tqecd (internal/service.Server).
+//
+// The pipeline is embarrassingly parallel across jobs and seeds, and the
+// NP-hardness of optimal braided-circuit compaction means throughput
+// comes from scale-out search rather than a smarter single node — so the
+// distribution layer stays deliberately simple:
+//
+//   - Workers register (POST /fleet/v1/register) and heartbeat
+//     (POST /fleet/v1/heartbeat); the coordinator judges each worker
+//     alive, suspect, or dead from heartbeat age and direct call
+//     failures.
+//   - Routing is rendezvous hashing on the job's content-addressed cache
+//     key, so a repeat submission lands on the worker whose local result
+//     cache already holds the answer (cache affinity), with a
+//     least-loaded override when the affinity target is overloaded.
+//   - Dispatch failures and dead workers trigger bounded retry with
+//     jittered exponential backoff and re-dispatch to a different
+//     worker. Because the pipeline is deterministic for a fixed seed
+//     list and results are content-addressed, re-running a job on
+//     another worker is always safe: dispatch is at-least-once, results
+//     are exactly-one-answer.
+//   - Cancellation (DELETE) and SSE event streaming (/v1/jobs/{id}/events)
+//     are proxied through to the owning worker; /metrics aggregates the
+//     tqecd_* families fleet-wide and adds the tqecd_fleet_* ones.
+//
+// Coordinator endpoints:
+//
+//	POST   /v1/jobs               submit (dispatched to a worker)
+//	GET    /v1/jobs               list coordinator jobs (?state=, ?limit=)
+//	GET    /v1/jobs/{id}          status (mirrored from the owning worker)
+//	GET    /v1/jobs/{id}/result   result payload (stored on completion, so
+//	                              a worker death after done loses nothing)
+//	GET    /v1/jobs/{id}/events   SSE stream proxied from the owning worker
+//	GET    /v1/jobs/{id}/journal  coordinator dispatch journal (assignment,
+//	                              retries, failovers, terminal state)
+//	DELETE /v1/jobs/{id}          cancel (forwarded; never retried after)
+//	POST   /fleet/v1/register     worker registration
+//	POST   /fleet/v1/heartbeat    worker heartbeat (404 → re-register)
+//	GET    /fleet/v1/workers      registered workers and their liveness
+//	GET    /healthz               coordinator liveness + fleet summary
+//	GET    /metrics               fleet + aggregated worker metrics (JSON;
+//	                              Prometheus text when Accept: text/plain)
+package fleet
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"tqec/internal/obs"
+	"tqec/internal/service"
+)
+
+// Config tunes the coordinator. Zero values select defaults.
+type Config struct {
+	// HeartbeatInterval is the cadence workers are told to beat at
+	// (default 2s); it also paces the liveness sweep.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the heartbeat age at which an alive worker becomes
+	// suspect and stops receiving new jobs (default 3×HeartbeatInterval).
+	SuspectAfter time.Duration
+	// DeadAfter is the heartbeat age at which a suspect worker is
+	// declared dead and its in-flight jobs fail over (default
+	// 3×SuspectAfter).
+	DeadAfter time.Duration
+	// PollInterval paces the coordinator's status polls of a dispatched
+	// job (default 200ms).
+	PollInterval time.Duration
+	// PollFailures is how many consecutive failed status polls declare
+	// the owning worker dead and trigger failover (default 3).
+	PollFailures int
+	// DispatchAttempts bounds how many dispatch rounds — initial
+	// dispatch, retries, and mid-job failovers combined — one job may
+	// consume before it is failed (default 3).
+	DispatchAttempts int
+	// MaxImbalance is the in-flight gap beyond which the least-loaded
+	// worker overrides the rendezvous (affinity) choice (default 8;
+	// negative disables the override).
+	MaxImbalance int
+	// MaxFinishedJobs bounds retained terminal jobs, exactly like the
+	// service's knob (default 512; negative retains everything).
+	MaxFinishedJobs int
+	// JournalEvents bounds each job's coordinator-side dispatch journal
+	// (default 256; negative disables it).
+	JournalEvents int
+	// Backoff shapes dispatch-retry delays.
+	Backoff Backoff
+	// Logger receives structured coordinator log lines (default: text
+	// handler on stderr, the shared obs shape).
+	Logger *slog.Logger
+	// HTTPClient performs worker calls (default: a dedicated client; no
+	// global timeout — per-call contexts bound every request).
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.HeartbeatInterval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3 * c.SuspectAfter
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Millisecond
+	}
+	if c.PollFailures <= 0 {
+		c.PollFailures = 3
+	}
+	if c.DispatchAttempts <= 0 {
+		c.DispatchAttempts = 3
+	}
+	if c.MaxImbalance == 0 {
+		c.MaxImbalance = 8
+	}
+	if c.MaxFinishedJobs == 0 {
+		c.MaxFinishedJobs = 512
+	}
+	if c.JournalEvents == 0 {
+		c.JournalEvents = 256
+	}
+	if c.Logger == nil {
+		l, err := obs.NewLogger(obs.LogConfig{Writer: os.Stderr})
+		if err != nil { // unreachable with the zero config
+			panic(err)
+		}
+		c.Logger = l
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// Coordinator is the fleet's front door. Create with NewCoordinator,
+// mount via Handler, stop with Shutdown (graceful) or Close (immediate).
+type Coordinator struct {
+	cfg     Config
+	metrics *fleetMetrics
+	reg     *registry
+	mux     *http.ServeMux
+	logger  *slog.Logger
+	started time.Time
+
+	rootCtx     context.Context
+	rootCancel  context.CancelFunc
+	wg          sync.WaitGroup // per-job supervisors
+	monitorDone chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*job // guarded by mu
+	nextID   int             // guarded by mu
+	finished []string        // guarded by mu; terminal job IDs, oldest first, for retention pruning
+	closed   bool            // guarded by mu
+}
+
+// NewCoordinator starts the coordinator: ctx is its root context —
+// cancelling it abandons every in-flight dispatch.
+func NewCoordinator(ctx context.Context, cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	m := newFleetMetrics()
+	c := &Coordinator{
+		cfg:     cfg,
+		metrics: m,
+		reg:     newRegistry(m, cfg.Logger, cfg.SuspectAfter, cfg.DeadAfter),
+		logger:  cfg.Logger,
+		started: time.Now(),
+		jobs:    map[string]*job{},
+	}
+	c.rootCtx, c.rootCancel = context.WithCancel(ctx)
+	c.mux = c.routes()
+	c.monitorDone = make(chan struct{})
+	go c.monitor()
+	return c
+}
+
+// Handler returns the HTTP surface.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Shutdown stops accepting submissions and waits for in-flight jobs'
+// supervisors to finish. If ctx expires first, everything in flight is
+// abandoned (the jobs end canceled) and the drain returns ctx's error.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	c.rootCancel()
+	<-done
+	<-c.monitorDone
+	return err
+}
+
+// Close abandons everything in flight and waits for the supervisors.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.rootCancel()
+	c.wg.Wait()
+	<-c.monitorDone
+}
+
+// monitor ages worker liveness on a fixed cadence. Supervisors observe
+// death verdicts on their next poll tick and fail their jobs over.
+func (c *Coordinator) monitor() {
+	defer close(c.monitorDone)
+	period := c.cfg.HeartbeatInterval / 2
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.reg.sweep(time.Now())
+		case <-c.rootCtx.Done():
+			return
+		}
+	}
+}
+
+// workerClient returns a protocol client for one worker.
+func (c *Coordinator) workerClient(baseURL string) *service.Client {
+	return &service.Client{BaseURL: baseURL, HTTPClient: c.cfg.HTTPClient}
+}

@@ -1,0 +1,495 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tqec/internal/circuit"
+	"tqec/internal/compress"
+	"tqec/internal/journal"
+	"tqec/internal/obs"
+	"tqec/internal/service"
+)
+
+const threecnotBody = `{"source":{"sample":"threecnot"},"options":{"mode":"full"}}`
+
+// testWorker is one fleet member under test: an embedded compile
+// service, its HTTP frontend, and the membership agent.
+type testWorker struct {
+	id    string
+	svc   *service.Server
+	ts    *httptest.Server
+	agent *Agent
+}
+
+// kill simulates an abrupt worker death: connections drop, the process
+// stops heartbeating, nothing drains gracefully.
+func (w *testWorker) kill() {
+	w.agent.Stop()
+	w.ts.CloseClientConnections()
+	w.ts.Close()
+	w.svc.Close()
+}
+
+// testFleet wires a coordinator and workers over httptest.
+type testFleet struct {
+	coord   *Coordinator
+	ts      *httptest.Server
+	workers map[string]*testWorker
+}
+
+func newTestFleet(t *testing.T, cfg Config, workerIDs []string, compile map[string]service.CompileFunc) *testFleet {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = 150 * time.Millisecond
+	}
+	if cfg.DeadAfter == 0 {
+		cfg.DeadAfter = 400 * time.Millisecond
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 20 * time.Millisecond
+	}
+	if cfg.Backoff.Base == 0 {
+		cfg.Backoff = Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond, Jitter: -1}
+	}
+	coord := NewCoordinator(context.Background(), cfg)
+	cts := httptest.NewServer(coord.Handler())
+	f := &testFleet{coord: coord, ts: cts, workers: map[string]*testWorker{}}
+	t.Cleanup(func() {
+		for _, w := range f.workers {
+			if w.agent != nil {
+				w.agent.Stop()
+			}
+		}
+		cts.Close()
+		coord.Close()
+		for _, w := range f.workers {
+			w.ts.Close()
+			w.svc.Close()
+		}
+	})
+
+	for _, id := range workerIDs {
+		svc := service.New(context.Background(), service.Config{
+			Workers: 2,
+			Logger:  obs.NopLogger(),
+			Compile: compile[id],
+		})
+		wts := httptest.NewServer(svc.Handler())
+		agent, err := StartAgent(context.Background(), AgentConfig{
+			CoordinatorURL:    cts.URL,
+			WorkerID:          id,
+			AdvertiseURL:      wts.URL,
+			Stats:             func() (int, int) { s := svc.Stats(); return s.Running, s.Queued },
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			Backoff:           Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: -1},
+			Logger:            obs.NopLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.workers[id] = &testWorker{id: id, svc: svc, ts: wts, agent: agent}
+	}
+	f.waitWorkersAlive(t, len(workerIDs))
+	return f
+}
+
+// waitWorkersAlive blocks until the coordinator judges n workers alive.
+func (f *testFleet) waitWorkersAlive(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		alive := 0
+		for _, w := range f.coord.reg.snapshot() {
+			if w.State == WorkerAlive {
+				alive++
+			}
+		}
+		if alive == n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("coordinator never saw %d alive workers: %+v", n, f.coord.reg.snapshot())
+}
+
+func (f *testFleet) submit(t *testing.T, body string) jobStatusResponse {
+	t.Helper()
+	resp, err := http.Post(f.ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: http %d: %s", resp.StatusCode, raw)
+	}
+	var st jobStatusResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("submit response %q: %v", raw, err)
+	}
+	return st
+}
+
+func (f *testFleet) getStatus(t *testing.T, id string) jobStatusResponse {
+	t.Helper()
+	var st jobStatusResponse
+	if code := getJSON(t, f.ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+		t.Fatalf("status %s: http %d", id, code)
+	}
+	return st
+}
+
+// waitJob polls the coordinator until the job is terminal.
+func (f *testFleet) waitJob(t *testing.T, id string, timeout time.Duration) jobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var st jobStatusResponse
+	for time.Now().Before(deadline) {
+		st = f.getStatus(t, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s still %s after %s", id, st.State, timeout)
+	return st
+}
+
+// waitCondition polls fn until it returns true.
+func waitCondition(t *testing.T, timeout time.Duration, what string, fn func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if fn() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// blockingCompile parks until the job context ends — the stand-in for a
+// long compile on a worker that is about to die.
+func blockingCompile() service.CompileFunc {
+	return func(ctx context.Context, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int) (*compress.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+}
+
+// threecnotKey resolves the cache key the fleet routes threecnot on.
+func threecnotKey(t *testing.T) string {
+	t.Helper()
+	var req service.SubmitRequest
+	if err := json.Unmarshal([]byte(threecnotBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	_, key, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// pickLosingID returns a worker ID that loses the rendezvous for key
+// against winnerID, so tests can force which worker owns a job.
+func pickLosingID(t *testing.T, winnerID, key string) string {
+	t.Helper()
+	winning := rendezvousScore(winnerID, key)
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("loser-%d", i)
+		if rendezvousScore(id, key) < winning {
+			return id
+		}
+	}
+	t.Fatal("could not find a losing worker ID")
+	return ""
+}
+
+func TestFleetComputesAndAffinityCacheHits(t *testing.T) {
+	f := newTestFleet(t, Config{}, []string{"w-a", "w-b"}, nil)
+
+	st := f.submit(t, threecnotBody)
+	final := f.waitJob(t, st.ID, 60*time.Second)
+	if final.State != service.StateDone {
+		t.Fatalf("job = %s (err %q), want done", final.State, final.Error)
+	}
+	if final.Worker == "" {
+		t.Fatal("done job reports no owning worker")
+	}
+	if final.Cached {
+		t.Fatal("first compile reported cached")
+	}
+
+	var payload service.ResultPayload
+	if code := getJSON(t, f.ts.URL+"/v1/jobs/"+st.ID+"/result", &payload); code != http.StatusOK {
+		t.Fatalf("result: http %d", code)
+	}
+	if payload.Report.PlacedVolume != 6 {
+		t.Fatalf("placed volume = %d, want 6 (paper Fig. 1(e))", payload.Report.PlacedVolume)
+	}
+
+	// Identical resubmission: rendezvous routing must land it on the same
+	// worker, whose content-addressed cache answers instantly.
+	st2 := f.submit(t, threecnotBody)
+	final2 := f.waitJob(t, st2.ID, 30*time.Second)
+	if final2.State != service.StateDone {
+		t.Fatalf("resubmit = %s (err %q), want done", final2.State, final2.Error)
+	}
+	if final2.Worker != final.Worker {
+		t.Fatalf("resubmit routed to %s, want affinity target %s", final2.Worker, final.Worker)
+	}
+	if !final2.Cached {
+		t.Fatal("resubmit not served from the worker cache")
+	}
+	if final2.RunMS != 0 {
+		t.Fatalf("cached resubmit RunMS = %v, want 0", final2.RunMS)
+	}
+
+	// The fleet metrics document sees both the distribution layer and the
+	// aggregated worker families.
+	var doc FleetMetricsDoc
+	if code := getJSON(t, f.ts.URL+"/metrics", &doc); code != http.StatusOK {
+		t.Fatalf("metrics: http %d", code)
+	}
+	if doc.Fleet.JobsDone != 2 {
+		t.Fatalf("fleet jobs_done = %d, want 2", doc.Fleet.JobsDone)
+	}
+	if doc.Fleet.AffinityRouted < 2 {
+		t.Fatalf("affinity_routed = %d, want >= 2", doc.Fleet.AffinityRouted)
+	}
+	if len(doc.ScrapeErrors) != 0 {
+		t.Fatalf("scrape errors: %v", doc.ScrapeErrors)
+	}
+	if doc.Aggregate == nil || doc.Aggregate.Jobs.DoneCached != 1 {
+		t.Fatalf("aggregate done_cached = %+v, want 1", doc.Aggregate)
+	}
+	if doc.Aggregate.Jobs.Done != 1 {
+		t.Fatalf("aggregate done = %d, want 1 (one real compile)", doc.Aggregate.Jobs.Done)
+	}
+
+	// The list endpoint mirrors the standalone shape, newest first.
+	var list jobListResponse
+	if code := getJSON(t, f.ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("list: http %d", code)
+	}
+	if list.Total != 2 || len(list.Jobs) != 2 || list.Jobs[0].ID != st2.ID {
+		t.Fatalf("list = %+v, want 2 jobs newest (%s) first", list, st2.ID)
+	}
+
+	// Prometheus exposition carries the fleet families and the aggregated
+	// worker families under one scrape.
+	req, _ := http.NewRequest(http.MethodGet, f.ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{
+		"tqecd_fleet_workers_alive 2",
+		"tqecd_fleet_jobs_done_total 2",
+		"tqecd_jobs_done_cached_total 1",
+	} {
+		if !strings.Contains(string(text), family) {
+			t.Errorf("prometheus exposition missing %q", family)
+		}
+	}
+}
+
+func TestFleetFailoverMidJobCompletes(t *testing.T) {
+	key := threecnotKey(t)
+	// Force the doomed worker to win the rendezvous for the key so the
+	// job deterministically starts on it.
+	blockerID := "blocker"
+	runnerID := pickLosingID(t, blockerID, key)
+	f := newTestFleet(t, Config{DispatchAttempts: 4},
+		[]string{blockerID, runnerID},
+		map[string]service.CompileFunc{blockerID: blockingCompile()})
+
+	st := f.submit(t, threecnotBody)
+	waitCondition(t, 10*time.Second, "job to start on the doomed worker", func() bool {
+		got := f.getStatus(t, st.ID)
+		return got.Worker == blockerID && got.State == service.StateRunning
+	})
+
+	f.workers[blockerID].kill()
+
+	final := f.waitJob(t, st.ID, 60*time.Second)
+	if final.State != service.StateDone {
+		t.Fatalf("job after worker death = %s (err %q), want done via failover", final.State, final.Error)
+	}
+	if final.Worker != runnerID {
+		t.Fatalf("job finished on %s, want failover target %s", final.Worker, runnerID)
+	}
+	if final.Retries < 1 {
+		t.Fatalf("retries = %d, want >= 1", final.Retries)
+	}
+
+	// The re-dispatched compile is the real pipeline: the answer must be
+	// correct, not merely present.
+	var payload service.ResultPayload
+	if code := getJSON(t, f.ts.URL+"/v1/jobs/"+st.ID+"/result", &payload); code != http.StatusOK {
+		t.Fatalf("result: http %d", code)
+	}
+	if payload.Report.PlacedVolume != 6 {
+		t.Fatalf("failover placed volume = %d, want 6", payload.Report.PlacedVolume)
+	}
+
+	// The dispatch journal tells the whole story: assigned to the doomed
+	// worker, retried, assigned to the survivor.
+	var jr service.JournalResponse
+	if code := getJSON(t, f.ts.URL+"/v1/jobs/"+st.ID+"/journal", &jr); code != http.StatusOK {
+		t.Fatalf("journal: http %d", code)
+	}
+	var assigned []string
+	retried := false
+	for _, ev := range jr.Events {
+		switch ev.Code {
+		case journal.JobStateWorkerAssigned:
+			assigned = append(assigned, ev.Message)
+		case journal.JobStateDispatchRetried:
+			retried = true
+		}
+	}
+	if len(assigned) < 2 || assigned[0] != blockerID || assigned[len(assigned)-1] != runnerID {
+		t.Fatalf("worker-assigned trail = %v, want %s then %s", assigned, blockerID, runnerID)
+	}
+	if !retried {
+		t.Fatalf("journal has no dispatch-retried event: %+v", jr.Events)
+	}
+
+	if got := f.coord.metrics.failovers.Value(); got < 1 {
+		t.Fatalf("failovers_total = %d, want >= 1", got)
+	}
+	waitCondition(t, 10*time.Second, "dead worker to leave the alive set", func() bool {
+		return f.coord.metrics.workersAlive.Value() == 1
+	})
+}
+
+func TestFleetCanceledJobIsNotRedispatched(t *testing.T) {
+	key := threecnotKey(t)
+	blockerID := "blocker"
+	runnerID := pickLosingID(t, blockerID, key)
+	// A long retry backoff holds the supervisor between failure detection
+	// and re-dispatch, so the cancel deterministically lands first.
+	f := newTestFleet(t, Config{Backoff: Backoff{Base: 2 * time.Second, Max: 2 * time.Second, Jitter: -1}},
+		[]string{blockerID, runnerID},
+		map[string]service.CompileFunc{blockerID: blockingCompile()})
+
+	st := f.submit(t, threecnotBody)
+	waitCondition(t, 10*time.Second, "job to start on the doomed worker", func() bool {
+		got := f.getStatus(t, st.ID)
+		return got.Worker == blockerID && got.State == service.StateRunning
+	})
+
+	f.workers[blockerID].kill()
+	// Wait until the supervisor has noticed the death and entered its
+	// retry backoff, then cancel.
+	waitCondition(t, 10*time.Second, "supervisor to notice the dead worker", func() bool {
+		return f.coord.metrics.failovers.Value() >= 1
+	})
+	req, _ := http.NewRequest(http.MethodDelete, f.ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: http %d", resp.StatusCode)
+	}
+
+	final := f.waitJob(t, st.ID, 10*time.Second)
+	if final.State != service.StateCanceled {
+		t.Fatalf("job = %s (err %q), want canceled", final.State, final.Error)
+	}
+	// The cancel gate must have stopped the failover: one dispatch ever,
+	// and the surviving worker never saw the job.
+	if got := f.coord.metrics.dispatches.Value(); got != 1 {
+		t.Fatalf("dispatches_total = %d, want 1 (no re-dispatch after cancel)", got)
+	}
+	var list service.JobList
+	if code := getJSON(t, f.workers[runnerID].ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("runner list: http %d", code)
+	}
+	if list.Total != 0 {
+		t.Fatalf("surviving worker saw %d jobs, want 0", list.Total)
+	}
+}
+
+func TestAgentReRegistersAfterCoordinatorRestart(t *testing.T) {
+	var handler atomic.Value // http.Handler
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	cfg := Config{
+		HeartbeatInterval: 20 * time.Millisecond,
+		Logger:            obs.NopLogger(),
+	}
+	c1 := NewCoordinator(context.Background(), cfg)
+	defer c1.Close()
+	handler.Store(c1.Handler())
+
+	agent, err := StartAgent(context.Background(), AgentConfig{
+		CoordinatorURL:    ts.URL,
+		WorkerID:          "w-1",
+		AdvertiseURL:      "http://127.0.0.1:1",
+		HeartbeatInterval: 20 * time.Millisecond,
+		Backoff:           Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond, Jitter: -1},
+		Logger:            obs.NopLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Stop()
+
+	waitCondition(t, 10*time.Second, "initial registration", func() bool {
+		return len(c1.reg.snapshot()) == 1
+	})
+
+	// "Restart" the coordinator: a fresh instance with an empty registry
+	// takes over the same URL. The next heartbeat gets a 404 and the
+	// agent must re-register on its own.
+	c2 := NewCoordinator(context.Background(), cfg)
+	defer c2.Close()
+	handler.Store(c2.Handler())
+
+	waitCondition(t, 10*time.Second, "re-registration with the restarted coordinator", func() bool {
+		snap := c2.reg.snapshot()
+		return len(snap) == 1 && snap[0].ID == "w-1" && snap[0].State == WorkerAlive
+	})
+}

@@ -1,0 +1,392 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tqec/internal/journal"
+	"tqec/internal/service"
+)
+
+// job is one coordinator-tracked submission. The immutable inputs are
+// set at submission; every mutable field is protected by the
+// Coordinator mutex.
+type job struct {
+	id        string
+	name      string
+	key       string
+	req       service.SubmitRequest
+	submitted time.Time
+	// recorder is the coordinator-side dispatch journal: assignment,
+	// retries, failovers, and the terminal state. The worker's own
+	// pipeline journal is streamed via the proxied events endpoint, not
+	// duplicated here. Nil when Config.JournalEvents is negative.
+	recorder *journal.Recorder
+	// cancelCh closes when cancellation is requested, waking a
+	// supervisor out of a backoff sleep immediately.
+	cancelCh chan struct{}
+
+	state           service.State
+	cached          bool
+	errMsg          string
+	workerID        string
+	workerURL       string
+	remoteID        string
+	remote          service.JobStatus // last status observed from the worker
+	cancelRequested bool
+	payload         *service.ResultPayload
+	finished        time.Time
+	retries         int // dispatch retries + failovers consumed
+}
+
+// supervise owns one job end to end: route, dispatch, track, and — on
+// worker failure — fail over to a different worker, within the bounded
+// attempt budget. It is the only finisher of its job, which is what
+// keeps the cancel/failover/complete races simple.
+func (c *Coordinator) supervise(j *job) {
+	defer c.wg.Done()
+	ctx := c.rootCtx
+	attempt := 0
+	exclude := "" // the worker the previous attempt failed on
+	for {
+		if c.maybeFinishCanceled(j) {
+			return
+		}
+		if attempt >= c.cfg.DispatchAttempts {
+			c.finish(j, service.StateFailed,
+				fmt.Sprintf("dispatch failed: no worker completed the job in %d attempts", attempt), nil)
+			return
+		}
+
+		w, affinity, ok := route(c.reg.alive(), j.key, exclude, c.cfg.MaxImbalance)
+		if !ok {
+			attempt++
+			c.retryDelay(ctx, j, attempt, "", errors.New("no alive workers"))
+			continue
+		}
+		st, err := c.dispatch(ctx, j, w)
+		if err != nil {
+			var se *service.StatusError
+			if errors.As(err, &se) && se.Code == http.StatusBadRequest {
+				// The worker understood and rejected the submission;
+				// another worker would reject it identically.
+				c.finish(j, service.StateFailed, "worker rejected job: "+se.Message, nil)
+				return
+			}
+			attempt++
+			exclude = w.ID
+			c.reg.markSuspect(w.ID)
+			c.retryDelay(ctx, j, attempt, w.ID, err)
+			continue
+		}
+
+		attempt++
+		exclude = w.ID
+		c.assign(j, w, st, affinity)
+		c.reg.addInflight(w.ID, 1)
+		c.metrics.jobsInflight.Add(1)
+
+		final, trackErr := c.track(ctx, j, w)
+		var completeErr error
+		if trackErr == nil {
+			completeErr = c.complete(ctx, j, w, final)
+		}
+		c.reg.addInflight(w.ID, -1)
+		c.metrics.jobsInflight.Add(-1)
+		if trackErr == nil && completeErr == nil {
+			return
+		}
+
+		// Coordinator shutdown, not worker failure: abandon the job
+		// without blaming the worker.
+		if c.rootCtx.Err() != nil {
+			c.finish(j, service.StateCanceled, "canceled: coordinator shutting down", nil)
+			return
+		}
+		reason := trackErr
+		if reason == nil {
+			reason = completeErr
+		}
+		c.reg.markDead(w.ID)
+		if c.maybeFinishCanceled(j) {
+			return
+		}
+		c.metrics.failovers.Inc()
+		c.mu.Lock()
+		j.retries++
+		c.mu.Unlock()
+		j.recorder.DispatchRetried(w.ID + ": " + reason.Error())
+		c.logJob(j, "failover", "worker", w.ID, "err", reason.Error(), "attempt", attempt)
+		if err := c.sleepRetry(ctx, j, attempt-1); err != nil {
+			continue // loop top classifies cancel vs shutdown
+		}
+	}
+}
+
+// retryDelay records one failed dispatch attempt and backs off.
+func (c *Coordinator) retryDelay(ctx context.Context, j *job, attempt int, workerID string, cause error) {
+	c.metrics.dispatchRetries.Inc()
+	c.mu.Lock()
+	j.retries++
+	c.mu.Unlock()
+	reason := cause.Error()
+	if workerID != "" {
+		reason = workerID + ": " + reason
+	}
+	j.recorder.DispatchRetried(reason)
+	c.logJob(j, "dispatch-retry", "reason", reason, "attempt", attempt)
+	_ = c.sleepRetry(ctx, j, attempt-1)
+}
+
+// sleepRetry backs off before the next dispatch attempt, waking early
+// on job cancellation or coordinator shutdown.
+func (c *Coordinator) sleepRetry(ctx context.Context, j *job, attempt int) error {
+	t := time.NewTimer(c.cfg.Backoff.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-j.cancelCh:
+		return errCanceled
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var errCanceled = errors.New("canceled")
+
+// dispatch forwards the submission to one worker.
+func (c *Coordinator) dispatch(ctx context.Context, j *job, w WorkerInfo) (service.JobStatus, error) {
+	// Bound the submit call itself; routing has already paid for
+	// liveness, so an unresponsive worker should fail fast.
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	return c.workerClient(w.URL).Submit(dctx, j.req)
+}
+
+// assign records a successful dispatch.
+func (c *Coordinator) assign(j *job, w WorkerInfo, st service.JobStatus, affinity bool) {
+	c.mu.Lock()
+	j.workerID = w.ID
+	j.workerURL = w.URL
+	j.remoteID = st.ID
+	j.remote = st
+	j.cached = st.Cached
+	if !j.state.Terminal() && st.State == service.StateQueued || st.State == service.StateRunning {
+		j.state = service.StateRunning
+	}
+	c.mu.Unlock()
+	c.metrics.dispatches.Inc()
+	if affinity {
+		c.metrics.affinityRouted.Inc()
+	} else {
+		c.metrics.affinityFallback.Inc()
+	}
+	j.recorder.WorkerAssigned(w.ID)
+	c.logJob(j, "dispatched", "worker", w.ID, "remote_id", st.ID, "affinity", affinity, "remote_state", string(st.State))
+}
+
+// track polls the owning worker until the remote job is terminal or the
+// worker is judged failed (consecutive poll errors, a 404 meaning the
+// worker restarted and lost the job, or a monitor death verdict).
+func (c *Coordinator) track(ctx context.Context, j *job, w WorkerInfo) (service.JobStatus, error) {
+	cl := c.workerClient(w.URL)
+	last := service.JobStatus{}
+	failures := 0
+	t := time.NewTicker(c.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		st, err := cl.Status(pctx, c.remoteID(j))
+		cancel()
+		switch {
+		case err == nil:
+			failures = 0
+			last = st
+			c.mirror(j, st)
+			if st.State.Terminal() {
+				return st, nil
+			}
+		case service.IsStatusCode(err, http.StatusNotFound):
+			// The worker restarted (or pruned the job): it will never
+			// finish it, so fail over immediately.
+			return last, fmt.Errorf("worker lost job: %w", err)
+		default:
+			failures++
+			if failures >= c.cfg.PollFailures {
+				return last, fmt.Errorf("worker unreachable after %d polls: %w", failures, err)
+			}
+		}
+		if c.reg.state(w.ID) == WorkerDead {
+			return last, errors.New("worker declared dead by heartbeat monitor")
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return last, ctx.Err()
+		}
+	}
+}
+
+// remoteID reads the job's remote ID under the lock (re-dispatch
+// rewrites it).
+func (c *Coordinator) remoteID(j *job) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return j.remoteID
+}
+
+// mirror copies the latest worker-observed status into the job.
+func (c *Coordinator) mirror(j *job, st service.JobStatus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.remote = st
+	j.cached = st.Cached
+	switch st.State {
+	case service.StateQueued, service.StateRunning:
+		j.state = service.StateRunning
+	}
+}
+
+// complete finalizes a job whose remote reached a terminal state. For a
+// done job the result payload is fetched and stored coordinator-side —
+// the worker may die or prune the job later, and the answer must
+// survive it. A fetch failure is reported to the caller, which treats
+// it as a worker failure and re-dispatches (the pipeline is
+// deterministic, so recomputing yields the same payload).
+func (c *Coordinator) complete(ctx context.Context, j *job, w WorkerInfo, final service.JobStatus) error {
+	switch final.State {
+	case service.StateDone:
+		var payload *service.ResultPayload
+		var err error
+		cl := c.workerClient(w.URL)
+		for fetchTry := 0; fetchTry < 3; fetchTry++ {
+			fctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			payload, err = cl.Result(fctx, final.ID)
+			cancel()
+			if err == nil {
+				break
+			}
+			if serr := c.cfg.Backoff.Sleep(ctx, fetchTry); serr != nil {
+				break
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("fetch result: %w", err)
+		}
+		c.finish(j, service.StateDone, "", payload)
+	case service.StateCanceled:
+		c.finish(j, service.StateCanceled, orDefault(final.Error, "canceled"), nil)
+	default:
+		c.finish(j, service.StateFailed, orDefault(final.Error, "failed on worker "+w.ID), nil)
+	}
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// maybeFinishCanceled finishes the job as canceled if cancellation was
+// requested (or the job is already terminal), reporting whether the
+// supervisor should stop. This is the gate that guarantees a canceled
+// job is never re-dispatched.
+func (c *Coordinator) maybeFinishCanceled(j *job) bool {
+	c.mu.Lock()
+	terminal, canceled := j.state.Terminal(), j.cancelRequested
+	c.mu.Unlock()
+	if terminal {
+		return true
+	}
+	if !canceled && c.rootCtx.Err() == nil {
+		return false
+	}
+	msg := "canceled"
+	if !canceled {
+		msg = "canceled: coordinator shutting down"
+	}
+	c.finish(j, service.StateCanceled, msg, nil)
+	return true
+}
+
+// finish records the job's terminal state exactly once: the dispatch
+// journal emits its terminal event and closes (ending any subscriber),
+// outcome metrics fire, and retention pruning drops the oldest terminal
+// jobs beyond the bound.
+func (c *Coordinator) finish(j *job, state service.State, errMsg string, payload *service.ResultPayload) {
+	c.mu.Lock()
+	if j.state.Terminal() {
+		c.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.payload = payload
+	j.finished = time.Now()
+	dur := j.finished.Sub(j.submitted)
+	if j.recorder != nil {
+		j.recorder.JobState(string(state), errMsg)
+		j.recorder.Close()
+	}
+	if c.cfg.MaxFinishedJobs >= 0 {
+		c.finished = append(c.finished, j.id)
+		for len(c.finished) > c.cfg.MaxFinishedJobs {
+			delete(c.jobs, c.finished[0])
+			c.finished = c.finished[1:]
+		}
+	}
+	c.mu.Unlock()
+
+	switch state {
+	case service.StateDone:
+		c.metrics.jobsDone.Inc()
+	case service.StateCanceled:
+		c.metrics.jobsCanceled.Inc()
+	default:
+		c.metrics.jobsFailed.Inc()
+	}
+	c.metrics.jobSeconds.Observe(dur.Seconds())
+	c.logJob(j, string(state), "total_ms", float64(dur)/float64(time.Millisecond), "err", errMsg)
+}
+
+// requestCancel marks the job canceled-on-next-decision and forwards a
+// best-effort DELETE to the owning worker. The supervisor remains the
+// only finisher; false means the job was already terminal.
+func (c *Coordinator) requestCancel(ctx context.Context, j *job) (service.State, bool) {
+	c.mu.Lock()
+	if j.state.Terminal() {
+		st := j.state
+		c.mu.Unlock()
+		return st, false
+	}
+	alreadyRequested := j.cancelRequested
+	j.cancelRequested = true
+	if !alreadyRequested {
+		close(j.cancelCh)
+	}
+	workerURL, remoteID, st := j.workerURL, j.remoteID, j.state
+	c.mu.Unlock()
+	if workerURL != "" && remoteID != "" {
+		if _, err := c.workerClient(workerURL).Cancel(ctx, remoteID); err != nil {
+			// The worker may already be gone; the supervisor's cancel
+			// gate still prevents any re-dispatch.
+			c.logJob(j, "cancel-forward-failed", "err", err.Error())
+		}
+	}
+	c.logJob(j, "cancel-requested")
+	return st, true
+}
+
+// logJob emits one structured coordinator log line for a job.
+func (c *Coordinator) logJob(j *job, event string, attrs ...any) {
+	c.logger.Info(event, append([]any{"job", j.id, "name", j.name}, attrs...)...)
+}

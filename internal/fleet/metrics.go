@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"io"
+
+	"tqec/internal/obs"
+)
+
+// fleetMetrics is the coordinator's own observability surface: the
+// tqecd_fleet_* families describing the distribution layer itself.
+// Worker-side compile metrics (tqecd_jobs_*, tqecd_cache_*, …) are not
+// duplicated here — the /metrics endpoint scrapes and aggregates them
+// fleet-wide on demand.
+type fleetMetrics struct {
+	reg *obs.Registry
+
+	workersAlive   *obs.Gauge
+	workersSuspect *obs.Gauge
+	workersDead    *obs.Counter
+	registrations  *obs.Counter
+	heartbeats     *obs.Counter
+
+	jobsSubmitted *obs.Counter
+	jobsInflight  *obs.Gauge
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCanceled  *obs.Counter
+
+	dispatches      *obs.Counter
+	dispatchRetries *obs.Counter
+	failovers       *obs.Counter
+	// affinityRouted counts dispatches that landed on the rendezvous-hash
+	// winner for the job's cache key; affinityFallback counts dispatches
+	// diverted by exclusion (a failed worker) or the least-loaded
+	// override. routed/(routed+fallback) is the affinity hit rate.
+	affinityRouted   *obs.Counter
+	affinityFallback *obs.Counter
+
+	jobSeconds *obs.Histogram // submit → terminal, coordinator view
+}
+
+// fleetSecondsBounds mirror the service's job-latency buckets.
+var fleetSecondsBounds = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
+
+func newFleetMetrics() *fleetMetrics {
+	reg := obs.NewRegistry()
+	return &fleetMetrics{
+		reg: reg,
+
+		workersAlive:   reg.Gauge("tqecd_fleet_workers_alive", "Registered workers currently heartbeating."),
+		workersSuspect: reg.Gauge("tqecd_fleet_workers_suspect", "Registered workers with overdue heartbeats, not yet declared dead."),
+		workersDead:    reg.Counter("tqecd_fleet_workers_dead_total", "Workers declared dead after missing heartbeats."),
+		registrations:  reg.Counter("tqecd_fleet_registrations_total", "Worker registrations accepted (including re-registrations)."),
+		heartbeats:     reg.Counter("tqecd_fleet_heartbeats_total", "Worker heartbeats accepted."),
+
+		jobsSubmitted: reg.Counter("tqecd_fleet_jobs_submitted_total", "Jobs accepted by the coordinator's POST /v1/jobs."),
+		jobsInflight:  reg.Gauge("tqecd_fleet_jobs_inflight", "Jobs the coordinator has dispatched and not yet seen terminal."),
+		jobsDone:      reg.Counter("tqecd_fleet_jobs_done_total", "Coordinator jobs that reached done (including worker cache hits)."),
+		jobsFailed:    reg.Counter("tqecd_fleet_jobs_failed_total", "Coordinator jobs that ended failed (including exhausted dispatch retries)."),
+		jobsCanceled:  reg.Counter("tqecd_fleet_jobs_canceled_total", "Coordinator jobs canceled by DELETE."),
+
+		dispatches:      reg.Counter("tqecd_fleet_dispatches_total", "Job submissions forwarded to a worker."),
+		dispatchRetries: reg.Counter("tqecd_fleet_dispatch_retries_total", "Dispatch attempts retried after a worker was unavailable or unreachable."),
+		failovers:       reg.Counter("tqecd_fleet_failovers_total", "Jobs re-dispatched to a different worker after their owner died mid-run."),
+
+		affinityRouted:   reg.Counter("tqecd_fleet_affinity_routed_total", "Dispatches that landed on the rendezvous-hash winner for the cache key."),
+		affinityFallback: reg.Counter("tqecd_fleet_affinity_fallback_total", "Dispatches diverted from the rendezvous winner (exclusion or load override)."),
+
+		jobSeconds: reg.Histogram("tqecd_fleet_job_seconds", "Seconds from coordinator submission to terminal state.", fleetSecondsBounds),
+	}
+}
+
+// writePrometheus renders the fleet families in text exposition form.
+func (m *fleetMetrics) writePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Routing is rendezvous (highest-random-weight) hashing on the job's
+// content-addressed cache key: every worker gets a score from
+// hash(workerID, key) and the highest score wins. The properties the
+// fleet needs fall out directly:
+//
+//   - Affinity: the same key always picks the same worker while the
+//     worker set is stable, so a repeat submission lands on the node
+//     whose local result cache already holds the answer.
+//   - Minimal disruption: when a worker dies, only the keys it owned
+//     remap (to their second-choice worker); everything else stays put,
+//     preserving the rest of the fleet's cache affinity.
+//   - No ring state: scores are recomputed per dispatch from the live
+//     worker set — nothing to rebalance or persist.
+//
+// Pure affinity ignores load, so dispatch applies a least-loaded
+// override: when the rendezvous winner's coordinator-assigned in-flight
+// count exceeds the least-loaded candidate's by more than maxImbalance,
+// the least-loaded worker takes the job instead. Affinity misses cost
+// one redundant compile; hotspots cost every job queued behind them.
+
+// rendezvousScore is the highest-random-weight score of one worker for
+// one key: FNV-1a over the worker ID, a separator, and the key, then a
+// splitmix64 finalizer. The finalizer matters: raw FNV propagates input
+// bits to the high bits too slowly, so a short key suffix barely moves
+// the high bits established by the worker-ID prefix and one worker wins
+// every comparison. Avalanching makes every input bit reach the bits
+// the max-score comparison actually uses.
+func rendezvousScore(workerID, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(workerID))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rendezvousRank orders candidates by descending score for key (ties
+// broken by ID so the order is total and deterministic).
+func rendezvousRank(candidates []WorkerInfo, key string) []WorkerInfo {
+	ranked := append([]WorkerInfo(nil), candidates...)
+	sort.Slice(ranked, func(a, b int) bool {
+		sa, sb := rendezvousScore(ranked[a].ID, key), rendezvousScore(ranked[b].ID, key)
+		if sa != sb {
+			return sa > sb
+		}
+		return ranked[a].ID < ranked[b].ID
+	})
+	return ranked
+}
+
+// route picks the dispatch target for key among candidates, excluding
+// excludeID (the worker a previous attempt just failed on; empty
+// excludes nobody). It returns the chosen worker, plus affinity=true
+// when the choice is the unexcluded rendezvous winner — the signal
+// behind the affinity hit-rate metrics.
+func route(candidates []WorkerInfo, key, excludeID string, maxImbalance int) (chosen WorkerInfo, affinity, ok bool) {
+	eligible := make([]WorkerInfo, 0, len(candidates))
+	for _, w := range candidates {
+		if w.ID != excludeID {
+			eligible = append(eligible, w)
+		}
+	}
+	if len(eligible) == 0 {
+		return WorkerInfo{}, false, false
+	}
+	ranked := rendezvousRank(eligible, key)
+	winner := ranked[0]
+
+	least := eligible[0]
+	for _, w := range eligible[1:] {
+		if w.Inflight < least.Inflight {
+			least = w
+		}
+	}
+	if maxImbalance > 0 && winner.Inflight-least.Inflight > maxImbalance {
+		// The affinity target is drowning in work; spill to the
+		// least-loaded node and pay one cache miss instead of queueing.
+		return least, false, true
+	}
+	// The dispatch is an affinity hit only if nothing was excluded or the
+	// winner would also have won the full candidate set.
+	if excludeID != "" {
+		full := rendezvousRank(candidates, key)
+		if len(full) > 0 && full[0].ID != winner.ID {
+			return winner, false, true
+		}
+	}
+	return winner, true, true
+}

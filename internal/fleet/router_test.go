@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func workers(ids ...string) []WorkerInfo {
+	out := make([]WorkerInfo, len(ids))
+	for i, id := range ids {
+		out[i] = WorkerInfo{ID: id, URL: "http://" + id, State: WorkerAlive}
+	}
+	return out
+}
+
+func TestRouteIsDeterministicAndAffine(t *testing.T) {
+	ws := workers("w-a", "w-b", "w-c")
+	first, affinity, ok := route(ws, "key-1", "", 0)
+	if !ok || !affinity {
+		t.Fatalf("route = (%v, affinity=%v, ok=%v), want affinity winner", first, affinity, ok)
+	}
+	for i := 0; i < 20; i++ {
+		got, _, _ := route(ws, "key-1", "", 0)
+		if got.ID != first.ID {
+			t.Fatalf("routing not deterministic: %s then %s", first.ID, got.ID)
+		}
+	}
+}
+
+func TestRouteSpreadsKeys(t *testing.T) {
+	// Rendezvous hashing must not send every key to one worker.
+	ws := workers("w-a", "w-b", "w-c")
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		w, _, ok := route(ws, fmt.Sprintf("key-%d", i), "", 0)
+		if !ok {
+			t.Fatal("route failed")
+		}
+		counts[w.ID]++
+	}
+	for _, w := range ws {
+		if counts[w.ID] == 0 {
+			t.Fatalf("worker %s never chosen across 300 keys: %v", w.ID, counts)
+		}
+	}
+}
+
+func TestRouteMinimalDisruptionOnExclusion(t *testing.T) {
+	// Excluding the winner must remap only that worker's keys; keys owned
+	// by others keep their owner (the rendezvous minimal-disruption
+	// property, which preserves the rest of the fleet's cache affinity).
+	ws := workers("w-a", "w-b", "w-c")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, _, _ := route(ws, key, "", 0)
+		after, affinity, ok := route(ws, key, "w-a", 0)
+		if !ok {
+			t.Fatal("route failed with exclusion")
+		}
+		if before.ID != "w-a" {
+			if after.ID != before.ID {
+				t.Fatalf("key %s moved from %s to %s though its owner was not excluded", key, before.ID, after.ID)
+			}
+			if !affinity {
+				t.Fatalf("key %s kept owner %s but was reported as a fallback", key, before.ID)
+			}
+		} else {
+			if after.ID == "w-a" {
+				t.Fatalf("key %s still routed to excluded worker", key)
+			}
+			if affinity {
+				t.Fatalf("key %s rerouted off its rendezvous winner but reported as affinity", key)
+			}
+		}
+	}
+}
+
+func TestRouteLeastLoadedOverride(t *testing.T) {
+	ws := workers("w-a", "w-b")
+	winner, _, _ := route(ws, "key-1", "", 0)
+	other := "w-a"
+	if winner.ID == "w-a" {
+		other = "w-b"
+	}
+	// Overload the rendezvous winner beyond the imbalance bound.
+	for i := range ws {
+		if ws[i].ID == winner.ID {
+			ws[i].Inflight = 10
+		}
+	}
+	got, affinity, ok := route(ws, "key-1", "", 4)
+	if !ok || got.ID != other || affinity {
+		t.Fatalf("route = (%s, affinity=%v), want least-loaded %s as fallback", got.ID, affinity, other)
+	}
+	// Within the bound the winner keeps the key.
+	got, affinity, _ = route(ws, "key-1", "", 20)
+	if got.ID != winner.ID || !affinity {
+		t.Fatalf("route = (%s, affinity=%v), want winner %s within imbalance bound", got.ID, affinity, winner.ID)
+	}
+	// Negative bound disables the override entirely.
+	got, _, _ = route(ws, "key-1", "", -1)
+	if got.ID != winner.ID {
+		t.Fatalf("route with disabled override = %s, want %s", got.ID, winner.ID)
+	}
+}
+
+func TestRouteNoCandidates(t *testing.T) {
+	if _, _, ok := route(nil, "key", "", 0); ok {
+		t.Fatal("route succeeded with no candidates")
+	}
+	if _, _, ok := route(workers("w-a"), "key", "w-a", 0); ok {
+		t.Fatal("route succeeded when the only candidate was excluded")
+	}
+}

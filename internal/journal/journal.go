@@ -211,6 +211,32 @@ func (r *Recorder) JobState(state, message string) {
 	r.emit(Event{Type: TypeJobState, Code: state, Message: message})
 }
 
+// Fleet-dispatch job-state codes, emitted by the fleet coordinator's
+// per-job recorder alongside the ordinary lifecycle states: a job's
+// journal then shows which worker ran it and every time dispatch had to
+// be retried or failed over.
+const (
+	// JobStateWorkerAssigned marks a job handed to a worker; the message
+	// carries the worker ID.
+	JobStateWorkerAssigned = "worker-assigned"
+	// JobStateDispatchRetried marks a dispatch attempt or a running job
+	// abandoned because its worker was unreachable or dead; the message
+	// carries the worker ID (when one was involved) and the reason.
+	JobStateDispatchRetried = "dispatch-retried"
+)
+
+// WorkerAssigned records that the fleet coordinator dispatched the job
+// to the given worker.
+func (r *Recorder) WorkerAssigned(workerID string) {
+	r.JobState(JobStateWorkerAssigned, workerID)
+}
+
+// DispatchRetried records that the fleet coordinator abandoned a
+// dispatch attempt (or a running job's worker) and will retry.
+func (r *Recorder) DispatchRetried(reason string) {
+	r.JobState(JobStateDispatchRetried, reason)
+}
+
 // Close seals the journal: no further events are accepted and every
 // subscriber's channel is closed once its queued events drain. Idempotent
 // and nil-safe. Subscribers that arrive after Close still receive the

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -84,6 +86,7 @@ type errorResponse struct {
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
@@ -178,6 +181,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.status(j))
 }
 
+// JobList is the GET /v1/jobs response: job statuses newest-first,
+// truncated to the requested limit. Total counts every job that matched
+// the filter before truncation, so a client can tell the list is partial.
+type JobList struct {
+	Jobs  []JobStatus `json:"jobs"`
+	Total int         `json:"total"`
+}
+
+// handleList serves GET /v1/jobs: every retained job, newest-first.
+// ?state= filters on one lifecycle state; ?limit= bounds the page
+// (default 100, 0 = unlimited).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	filter := State(q.Get("state"))
+	switch filter {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown state %q", filter)})
+		return
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad limit %q", v)})
+			return
+		}
+		limit = n
+	}
+
+	s.mu.Lock()
+	matched := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if filter == "" || j.state == filter {
+			matched = append(matched, j)
+		}
+	}
+	// Newest first. IDs are zero-padded monotonic (j000001, j000002, …),
+	// so a longer ID is always newer and equal-width IDs order textually.
+	sort.Slice(matched, func(a, b int) bool {
+		if len(matched[a].ID) != len(matched[b].ID) {
+			return len(matched[a].ID) > len(matched[b].ID)
+		}
+		return matched[a].ID > matched[b].ID
+	})
+	out := JobList{Total: len(matched), Jobs: []JobStatus{}}
+	for _, j := range matched {
+		if limit > 0 && len(out.Jobs) >= limit {
+			break
+		}
+		out.Jobs = append(out.Jobs, s.statusLocked(j))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
@@ -223,7 +282,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job was not traced (submit with \"trace\": true)"})
 		return
 	}
-	if !state.terminal() {
+	if !state.Terminal() {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job is %s, trace not final", state)})
 		return
 	}
@@ -292,6 +351,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) status(j *Job) JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statusLocked(j)
+}
+
+// statusLocked renders a job; the caller holds s.mu.
+func (s *Server) statusLocked(j *Job) JobStatus {
 	st := JobStatus{
 		ID:       j.ID,
 		Name:     j.Name,
@@ -313,6 +377,29 @@ func (s *Server) status(j *Job) JobStatus {
 		st.QueuedMS = ms(time.Since(j.submitted))
 	}
 	return st
+}
+
+// Resolve validates the request exactly the way submission does and
+// returns the defaulted job name plus the content-addressed cache key,
+// without compiling anything. It is the forwarding hook the fleet
+// coordinator uses: routing on the same key the worker will compute is
+// what makes cache-affinity dispatch land repeat submissions on the
+// worker that already holds the result.
+func (req SubmitRequest) Resolve() (name, key string, err error) {
+	c, err := loadSource(req.Source)
+	if err != nil {
+		return "", "", err
+	}
+	opt, seeds, err := req.Options.resolve()
+	if err != nil {
+		return "", "", err
+	}
+	name = req.Name
+	if name == "" {
+		name = c.Name
+	}
+	key, err = CacheKey(c, opt, seeds)
+	return name, key, err
 }
 
 // loadSource materializes the submitted circuit.

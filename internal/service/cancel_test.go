@@ -30,7 +30,7 @@ func TestCancelRunningJobStopsPromptly(t *testing.T) {
 		if cur.State == StateRunning {
 			break
 		}
-		if cur.State.terminal() {
+		if cur.State.Terminal() {
 			t.Fatalf("job finished before cancel: %s (%s)", cur.State, cur.Error)
 		}
 		if time.Now().After(deadline) {

@@ -117,7 +117,7 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "journaling disabled (server started with journal events < 0)"})
 		return
 	}
-	if !state.terminal() {
+	if !state.Terminal() {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job is %s, journal not final (stream /v1/jobs/%s/events)", state, id)})
 		return
 	}

@@ -105,18 +105,19 @@ func (m *metrics) writePrometheus(w io.Writer) error {
 	return m.reg.WritePrometheus(w)
 }
 
-// histSnapshot is the JSON form of a histogram (non-cumulative buckets
+// HistogramJSON is the JSON form of a histogram (non-cumulative buckets
 // keyed by upper bound, matching the format the endpoint has always
-// served; the Prometheus form is the le-cumulative one).
-type histSnapshot struct {
+// served; the Prometheus form is the le-cumulative one). Exported so the
+// fleet coordinator can decode scraped worker snapshots.
+type HistogramJSON struct {
 	Count   int64            `json:"count"`
 	SumMS   float64          `json:"sum_ms"`
 	MeanMS  float64          `json:"mean_ms"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
-func jsonHist(s obs.HistSnapshot) histSnapshot {
-	out := histSnapshot{Count: s.Count, SumMS: s.Sum, Buckets: map[string]int64{}}
+func jsonHist(s obs.HistSnapshot) HistogramJSON {
+	out := HistogramJSON{Count: s.Count, SumMS: s.Sum, Buckets: map[string]int64{}}
 	if s.Count > 0 {
 		out.MeanMS = s.Sum / float64(s.Count)
 	}
@@ -133,8 +134,10 @@ func jsonHist(s obs.HistSnapshot) histSnapshot {
 	return out
 }
 
-// metricsSnapshot is the /metrics JSON document.
-type metricsSnapshot struct {
+// MetricsSnapshot is the /metrics JSON document. Exported so the fleet
+// coordinator can scrape each worker's endpoint, decode the document,
+// and aggregate the counters fleet-wide.
+type MetricsSnapshot struct {
 	Jobs struct {
 		Submitted int64 `json:"submitted"`
 		Rejected  int64 `json:"rejected"`
@@ -162,14 +165,14 @@ type metricsSnapshot struct {
 		PrimalMerges   int64 `json:"primal_merges"`
 		DualBridges    int64 `json:"dual_bridges"`
 	} `json:"pipeline"`
-	QueueDepth int                     `json:"queue_depth"`
-	QueueWait  histSnapshot            `json:"queue_wait_ms"`
-	Compile    histSnapshot            `json:"compile_ms"`
-	Stages     map[string]histSnapshot `json:"stage_ms"`
+	QueueDepth int                      `json:"queue_depth"`
+	QueueWait  HistogramJSON            `json:"queue_wait_ms"`
+	Compile    HistogramJSON            `json:"compile_ms"`
+	Stages     map[string]HistogramJSON `json:"stage_ms"`
 }
 
-func (m *metrics) snapshot(queueDepth, cacheEntries int) metricsSnapshot {
-	var s metricsSnapshot
+func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
+	var s MetricsSnapshot
 	s.Jobs.Submitted = m.jobsSubmitted.Value()
 	s.Jobs.Rejected = m.jobsRejected.Value()
 	s.Jobs.Queued = m.jobsQueued.Value()
@@ -193,7 +196,7 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) metricsSnapshot {
 	s.QueueDepth = queueDepth
 	s.QueueWait = jsonHist(m.queueWait.Snapshot())
 	s.Compile = jsonHist(m.compile.Snapshot())
-	s.Stages = map[string]histSnapshot{}
+	s.Stages = map[string]HistogramJSON{}
 	stageSnaps := m.stages.Snapshot()
 	names := make([]string, 0, len(stageSnaps))
 	for n := range stageSnaps {

@@ -72,6 +72,11 @@ type Config struct {
 	// Logger receives structured per-job log lines (default: text handler
 	// on stderr at info level, the same shape the tqec CLIs use).
 	Logger *slog.Logger
+	// Compile substitutes the compile pipeline (default
+	// compress.CompileBestContext). Tests and embedders — the fleet
+	// failover tests in particular — inject deterministic or blocking
+	// stand-ins here.
+	Compile CompileFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -118,8 +123,8 @@ const (
 	StateCanceled State = "canceled"
 )
 
-// terminal reports whether the state is final.
-func (s State) terminal() bool {
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
@@ -170,9 +175,9 @@ type ResultPayload struct {
 	Summary  string          `json:"summary"`
 }
 
-// compileFunc runs one multi-seed compile; it is a Server field so tests
-// can substitute a deterministic pipeline.
-type compileFunc func(ctx context.Context, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int) (*compress.Result, error)
+// CompileFunc runs one multi-seed compile; it is a Server field (and a
+// Config hook) so tests can substitute a deterministic pipeline.
+type CompileFunc func(ctx context.Context, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int) (*compress.Result, error)
 
 // Server is the compile service. Create with New, mount via Handler, and
 // stop with Shutdown (graceful) or Close (immediate).
@@ -181,7 +186,7 @@ type Server struct {
 	metrics *metrics
 	cache   *resultCache
 	mux     *http.ServeMux
-	compile compileFunc
+	compile CompileFunc
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -211,6 +216,9 @@ func New(ctx context.Context, cfg Config) *Server {
 		queue:   make(chan *Job, cfg.QueueDepth),
 		compile: compress.CompileBestContext,
 		started: time.Now(),
+	}
+	if cfg.Compile != nil {
+		s.compile = cfg.Compile
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(ctx)
 	s.mux = s.routes()
@@ -505,6 +513,23 @@ func (s *Server) cancelJob(j *Job) (State, bool) {
 		return StateRunning, true
 	default:
 		return j.state, false
+	}
+}
+
+// Stats is a point-in-time load snapshot of the service, the payload a
+// fleet worker reports to its coordinator on every heartbeat.
+type Stats struct {
+	// Queued is the number of jobs waiting for a worker-pool slot.
+	Queued int `json:"queued"`
+	// Running is the number of jobs currently compiling.
+	Running int `json:"running"`
+}
+
+// Stats reports the current queue depth and running-job count.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queued:  len(s.queue),
+		Running: int(s.metrics.jobsRunning.Value()),
 	}
 }
 

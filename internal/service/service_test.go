@@ -95,7 +95,7 @@ func waitState(t *testing.T, ts *httptest.Server, id string, timeout time.Durati
 		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
 			t.Fatalf("status %s: http %d", id, code)
 		}
-		if st.State.terminal() {
+		if st.State.Terminal() {
 			return st
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -157,7 +157,7 @@ func TestCacheHitOnIdenticalSubmission(t *testing.T) {
 		t.Fatalf("cache-hit RunMS = %.1f, want 0 (no compile ran)", second.RunMS)
 	}
 
-	var m metricsSnapshot
+	var m MetricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
 		t.Fatalf("metrics: http %d", code)
 	}
@@ -287,7 +287,7 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 	if h.QueueDepth != 0 {
 		t.Fatalf("healthz queue_depth = %d, want 0 on an idle server", h.QueueDepth)
 	}
-	var m metricsSnapshot
+	var m MetricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
 		t.Fatalf("metrics: http %d", code)
 	}
@@ -359,7 +359,7 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	}
 
 	// Without the Accept header the endpoint still answers JSON.
-	var m metricsSnapshot
+	var m MetricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK || m.Jobs.Submitted != 1 {
 		t.Fatalf("JSON metrics: code %d, submitted %d", code, m.Jobs.Submitted)
 	}
@@ -385,7 +385,7 @@ func TestDoneCountersDisjoint(t *testing.T) {
 			t.Fatalf("replay %d: http %d cached=%t", i, code, st.Cached)
 		}
 	}
-	var m metricsSnapshot
+	var m MetricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
 		t.Fatalf("metrics: http %d", code)
 	}
