@@ -43,7 +43,7 @@ func main() {
 		runDRC      = flag.Bool("drc", false, "run the design-rule checker at every stage transition")
 		jsonOut     = flag.String("json", "", "write a machine-readable result report to this file")
 		timeout     = flag.Duration("timeout", 0, "abort the compile after this long (0 = no deadline)")
-		traceOut    = flag.String("trace", "", "record a pipeline trace and write it to this file in Chrome trace_event format (chrome://tracing, Perfetto)")
+		traceOut    = flag.String("trace", "", "record a pipeline trace and write it to this file in Chrome trace_event format (chrome://tracing, Perfetto); with -server, the daemon traces the job and the stitched trace is fetched when it finishes")
 		explain     = flag.Bool("explain", false, "print the compression journal: the per-stage volume waterfall, anneal/route trajectories, and warnings")
 		explainJSON = flag.String("explain-json", "", "write the compression journal as JSON to this file (implies journaling)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address while compiling (e.g. localhost:6060)")
@@ -53,11 +53,12 @@ func main() {
 	flag.Parse()
 
 	if *server != "" {
-		if *viz || *traceOut != "" || *explain || *explainJSON != "" {
-			fmt.Fprintln(os.Stderr, "tqecc: -viz, -trace, and -explain* compile locally; they cannot combine with -server")
+		if *viz || *explain || *explainJSON != "" {
+			fmt.Fprintln(os.Stderr, "tqecc: -viz and -explain* compile locally; they cannot combine with -server")
 			os.Exit(1)
 		}
 		os.Exit(runRemote(remoteFlags{
+			traceOut:    *traceOut,
 			server:      *server,
 			inReal:      *inReal,
 			inText:      *inText,

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"tqec/internal/obs"
 	"tqec/internal/service"
 )
 
@@ -26,12 +27,21 @@ type remoteFlags struct {
 	timeout     time.Duration
 	jsonOut     string
 	noCache     bool
+	// traceOut asks the daemon to trace the job and, once it is
+	// terminal, fetches the trace (stitched fleet-wide when -server is a
+	// coordinator) and writes it here in Chrome trace_event format.
+	traceOut string
 }
 
 // runRemote submits the compile to a running tqecd (or fleet
 // coordinator) at -server instead of compiling in-process, waits for the
-// job, and prints the result report. Local-artifact flags (-viz, -trace,
-// -explain) don't apply: the daemon keeps those on its side of the wire.
+// job, and prints the result report. Local-artifact flags (-viz,
+// -explain*) don't apply: the daemon keeps those on its side of the
+// wire. -trace does: the submission carries a fresh trace context in its
+// traceparent header, the daemon records the job's span tree under it,
+// and the trace — stitched across coordinator and worker when -server is
+// a fleet coordinator — is fetched and written locally once the job is
+// terminal.
 func runRemote(f remoteFlags) int {
 	req := service.SubmitRequest{
 		Options: service.OptionSpec{
@@ -80,6 +90,12 @@ func runRemote(f remoteFlags) int {
 		ctx, cancel = context.WithTimeout(ctx, f.timeout+30*time.Second)
 		defer cancel()
 	}
+	if f.traceOut != "" {
+		// This process is the distributed root: the daemon's trace (and,
+		// through a coordinator, the worker's) joins the ID minted here.
+		req.Trace = true
+		ctx = obs.WithTraceparent(ctx, obs.NewTraceContext())
+	}
 	cl := service.NewClient(f.server)
 	st, err := cl.Submit(ctx, req)
 	if err != nil {
@@ -91,6 +107,15 @@ func runRemote(f remoteFlags) int {
 		if st, err = cl.Wait(ctx, st.ID, 0); err != nil {
 			fmt.Fprintln(os.Stderr, "tqecc:", err)
 			return 1
+		}
+	}
+	if f.traceOut != "" {
+		// Fetch even for failed jobs — a partial trace is exactly what
+		// explains where the time went.
+		if terr := fetchRemoteTrace(ctx, cl, st.ID, f.traceOut); terr != nil {
+			fmt.Fprintln(os.Stderr, "tqecc: trace:", terr)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", f.traceOut)
 		}
 	}
 	if st.State != service.StateDone {
@@ -144,4 +169,23 @@ func runRemote(f remoteFlags) int {
 		return 1
 	}
 	return 0
+}
+
+// fetchRemoteTrace pulls the terminal job's span tree from the daemon
+// and writes it in Chrome trace_event format, one process lane per
+// process in a stitched fleet trace.
+func fetchRemoteTrace(ctx context.Context, cl *service.Client, id, path string) error {
+	tree, err := cl.Trace(ctx, id)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTraceTree(out, tree); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

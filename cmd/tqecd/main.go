@@ -19,6 +19,7 @@
 //	curl -s localhost:8142/v1/jobs/j000001/journal           # finished-job journal
 //	tqecd -debug-addr localhost:6060                         # net/http/pprof
 //	tqecd -log-level debug -log-format json                  # structured logs
+//	tqecd -profile-slow-after 30s                            # CPU-profile jobs that run long
 //
 // Fleet mode scales tqecd horizontally while keeping the wire API:
 //
@@ -62,6 +63,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on requested per-job deadlines")
 		retain     = flag.Int("retain", 512, "finished jobs kept queryable before the oldest are forgotten (-1 keeps all)")
 		journalEvs = flag.Int("journal-events", 0, "per-job flight-recorder ring-buffer capacity for /v1/jobs/{id}/events (0 = default 4096, -1 disables journaling)")
+		slowAfter  = flag.Duration("profile-slow-after", 0, "record a pprof CPU profile for jobs running longer than this, served at /v1/jobs/{id}/profile (0 disables; one capture at a time per process)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight compiles")
 		logLevel   = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logFormat  = flag.String("log-format", "text", "log format: text | json")
@@ -95,14 +97,15 @@ func main() {
 	}
 
 	svcConfig := service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheSize,
-		DefaultTimeout:  *defTimeout,
-		MaxTimeout:      *maxTimeout,
-		MaxFinishedJobs: *retain,
-		JournalEvents:   *journalEvs,
-		Logger:          logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheSize,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		MaxFinishedJobs:  *retain,
+		JournalEvents:    *journalEvs,
+		SlowProfileAfter: *slowAfter,
+		Logger:           logger,
 	}
 
 	switch *role {

@@ -115,6 +115,7 @@ func Default() []*Analyzer {
 		CtxFlow(),
 		LockedCall(),
 		MetricName(),
+		SpanName(),
 		NoPrint(),
 	}
 }

@@ -69,6 +69,10 @@ func TestNoPrintFixture(t *testing.T) {
 	runFixture(t, NoPrint(), "noprint")
 }
 
+func TestSpanNameFixture(t *testing.T) {
+	runFixture(t, SpanName(), "spanname")
+}
+
 // TestCleanTree is the suite's own dogfood gate: the production analyzer
 // set must report nothing on the module itself. A finding here means
 // either a real convention violation slipped in or an analyzer grew a

@@ -9,9 +9,10 @@ import (
 )
 
 // metricNameRE is the project metric-naming scheme: a tqec_, tqecc_, or
-// tqecd_ prefix (library, compiler CLI, daemon) followed by lowercase
-// snake case.
-var metricNameRE = regexp.MustCompile(`^tqec[cd]?_[a-z0-9_]+$`)
+// tqecd_ prefix (library, compiler CLI, daemon) — or go_ for the
+// runtime self-telemetry families every /metrics surface re-exports —
+// followed by lowercase snake case.
+var metricNameRE = regexp.MustCompile(`^(?:tqec[cd]?|go)_[a-z0-9_]+$`)
 
 // obsRegistryPath is the package whose Registry methods register metric
 // families.
@@ -20,23 +21,24 @@ const obsRegistryPath = "tqec/internal/obs"
 // registryMethods are the registering methods and their kind-specific
 // suffix rules.
 var registryMethods = map[string]struct{ counter, duration bool }{
-	"Counter":      {counter: true},
-	"Gauge":        {},
-	"GaugeFunc":    {},
-	"Histogram":    {duration: true},
-	"HistogramVec": {duration: true},
+	"Counter":       {counter: true},
+	"Gauge":         {},
+	"GaugeFunc":     {},
+	"Histogram":     {duration: true},
+	"HistogramVec":  {duration: true},
+	"HistogramFunc": {duration: true},
 }
 
 // MetricName builds the metricname analyzer: every metric family
 // registered with the internal/obs registry must be a string literal
-// matching ^tqec[cd]?_[a-z0-9_]+$, counters must end in _total
+// matching ^(tqec[cd]?|go)_[a-z0-9_]+$, counters must end in _total
 // (Prometheus convention), and duration histograms must carry an
 // explicit unit suffix (_seconds or _ms). Misnamed families poison
 // dashboards silently — the exposition format has no schema.
 func MetricName() *Analyzer {
 	a := &Analyzer{
 		Name: "metricname",
-		Doc:  "obs registry metric names must be literals matching ^tqec[cd]?_[a-z0-9_]+$ with _total counters and _seconds/_ms histograms",
+		Doc:  "obs registry metric names must be literals matching ^(tqec[cd]?|go)_[a-z0-9_]+$ with _total counters and _seconds/_ms histograms",
 	}
 	a.Run = func(pass *Pass) {
 		info := pass.Pkg.Info
@@ -66,7 +68,7 @@ func MetricName() *Analyzer {
 				}
 				switch {
 				case !metricNameRE.MatchString(name):
-					pass.Reportf(lit.Pos(), "metric %q does not match ^tqec[cd]?_[a-z0-9_]+$", name)
+					pass.Reportf(lit.Pos(), "metric %q does not match ^(tqec[cd]?|go)_[a-z0-9_]+$", name)
 				case rule.counter && !strings.HasSuffix(name, "_total"):
 					pass.Reportf(lit.Pos(), "counter %q must end in _total (Prometheus convention)", name)
 				case rule.duration && !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_ms"):

@@ -1,6 +1,7 @@
 // Package metricname is a tqec-vet fixture: obs registry metric names
-// must be literals in the tqec[cd]?_* scheme, counters end in _total,
-// duration histograms in _seconds or _ms.
+// must be literals in the tqec[cd]?_* scheme (or go_* for runtime
+// self-telemetry), counters end in _total, duration histograms in
+// _seconds or _ms.
 package metricname
 
 import "tqec/internal/obs"
@@ -13,11 +14,15 @@ func Register(r *obs.Registry) {
 	r.Counter("tqecd_Jobs_total", "uppercase") // want "does not match"
 	r.Gauge("tqecd_queue_depth", "ok")
 	r.Gauge("tqecx_queue_depth", "bad subsystem") // want "does not match"
+	r.Gauge("go_goroutines", "ok: runtime self-telemetry prefix")
+	r.Gauge("golang_goroutines", "bad runtime prefix") // want "does not match"
 	r.Histogram("tqecd_compile_ms", "ok", nil)
 	r.Histogram("tqecd_compile_seconds", "ok", nil)
 	r.Histogram("tqecd_compile", "no unit", nil) // want "_seconds or _ms"
 	r.HistogramVec("tqecd_stage_ms", "ok", "stage", nil)
 	r.HistogramVec("tqecd_stage", "no unit", "stage", nil) // want "_seconds or _ms"
+	r.HistogramFunc("go_gc_pauses_seconds", "ok", func() obs.HistSnapshot { return obs.HistSnapshot{} })
+	r.HistogramFunc("go_gc_pauses", "no unit", func() obs.HistSnapshot { return obs.HistSnapshot{} }) // want "_seconds or _ms"
 	name := dynamicName()
 	r.Counter(name, "computed") // want "string literal"
 	r.GaugeFunc("tqecd_uptime_seconds", "ok", func() float64 { return 0 })

@@ -161,6 +161,9 @@ func (a *Agent) heartbeat(ctx context.Context) error {
 		ID:      a.cfg.WorkerID,
 		Running: running,
 		Queued:  queued,
+		// The send stamp lets the coordinator estimate this worker's
+		// clock offset for trace-timestamp alignment.
+		SentUnixUS: time.Now().UnixMicro(),
 	}, nil)
 	if err != nil && strings.Contains(err.Error(), "http 404") {
 		return fmt.Errorf("%w: %s", errUnknownWorker, err)

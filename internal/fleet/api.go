@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -62,6 +64,12 @@ type HeartbeatRequest struct {
 	ID      string `json:"id"`
 	Running int    `json:"running"`
 	Queued  int    `json:"queued"`
+	// SentUnixUS is the worker's clock at send time (Unix microseconds).
+	// The coordinator subtracts it from its own receive time to estimate
+	// the worker's clock offset, which aligns worker span timestamps when
+	// stitching cross-process traces. Zero (an old agent) disables the
+	// estimate for this worker.
+	SentUnixUS int64 `json:"sent_unix_us,omitempty"`
 }
 
 // WorkersResponse is the GET /fleet/v1/workers body.
@@ -89,6 +97,8 @@ func (c *Coordinator) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/journal", c.handleJournal)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", c.handleProfile)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
 	mux.HandleFunc("POST /fleet/v1/register", c.handleRegister)
 	mux.HandleFunc("POST /fleet/v1/heartbeat", c.handleHeartbeat)
@@ -114,7 +124,21 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	j := c.newJob(name, key, req)
+	// A traced submission may arrive with an upstream trace context (a
+	// remote-mode tqecc run); a malformed header degrades to a fresh
+	// coordinator-rooted trace rather than failing the submission.
+	var traceCtx obs.TraceContext
+	if req.Trace {
+		if h := r.Header.Get(obs.TraceparentHeader); h != "" {
+			tc, perr := obs.ParseTraceparent(h)
+			if perr != nil {
+				c.logger.Warn("bad traceparent, starting fresh trace", "header", h, "err", perr.Error())
+			} else {
+				traceCtx = tc
+			}
+		}
+	}
+	j := c.newJob(name, key, req, traceCtx, r.Header.Get(obs.RequestIDHeader))
 	if j == nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "coordinator draining"})
 		return
@@ -244,6 +268,108 @@ func (c *Coordinator) handleJournal(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTrace serves the stitched fleet-wide trace of a traced job once
+// it is terminal: the coordinator's own span tree (dispatch, routing,
+// retries, failovers) with the owning worker's pipeline span tree
+// fetched on demand and grafted under the final dispatch span. Worker
+// timestamps are aligned with the heartbeat-derived clock-offset
+// estimate, clamped so the graft never precedes its dispatch parent.
+// When the worker is unreachable the coordinator-only view is served
+// with a worker_trace_error attribute rather than an error status.
+// ?format=chrome selects the Chrome trace_event form, with coordinator
+// and worker spans in separate process lanes.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	c.mu.Lock()
+	state := j.state
+	workerID, workerURL, remoteID := j.workerID, j.workerURL, j.remoteID
+	c.mu.Unlock()
+	if j.tracer == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job was not traced (submit with \"trace\": true)"})
+		return
+	}
+	if !state.Terminal() {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job is %s, trace not final", state)})
+		return
+	}
+	tree := j.tracer.Tree()
+	if workerURL != "" && remoteID != "" {
+		tctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		guest, err := c.workerClient(workerURL).Trace(tctx, remoteID)
+		cancel()
+		if err != nil {
+			c.logJob(j, "trace-fetch-failed", "worker", workerID, "err", err.Error())
+			setTreeAttr(tree, "worker_trace_error", err.Error())
+		} else {
+			guest.Process = workerID
+			if !obs.Graft(tree, "dispatch", guest, c.reg.clockOffset(workerID)) {
+				setTreeAttr(tree, "worker_trace_error", "stitch failed: no dispatch span or missing epoch anchors")
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "chrome" {
+		_ = obs.WriteChromeTraceTree(w, tree)
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(tree)
+}
+
+// setTreeAttr annotates an exported span tree in place.
+func setTreeAttr(tree *obs.SpanJSON, key string, value any) {
+	if tree.Attrs == nil {
+		tree.Attrs = map[string]any{}
+	}
+	tree.Attrs[key] = value
+}
+
+// handleProfile proxies the owning worker's slow-job CPU profile. The
+// coordinator does not copy profiles at completion time (they are large
+// and rarely wanted); a worker that died since the job finished answers
+// 502 here, which is an honest account of where the bytes live.
+func (c *Coordinator) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	c.mu.Lock()
+	state := j.state
+	workerURL, remoteID := j.workerURL, j.remoteID
+	c.mu.Unlock()
+	if !state.Terminal() {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job is %s, profile not final", state)})
+		return
+	}
+	if workerURL == "" || remoteID == "" {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no profile: job never reached a worker"})
+		return
+	}
+	pctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	raw, err := c.workerClient(workerURL).Profile(pctx, remoteID)
+	if err != nil {
+		var se *service.StatusError
+		if errors.As(err, &se) {
+			// Forward the worker's own verdict (404 no profile, 409 not
+			// final) untouched.
+			writeJSON(w, se.Code, errorResponse{Error: se.Message})
+			return
+		}
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: "fetch profile: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+j.id+`.pprof"`)
+	_, _ = w.Write(raw)
+}
+
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -270,7 +396,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
 		return
 	}
-	if !c.reg.heartbeat(req.ID, req.Running, req.Queued) {
+	if !c.reg.heartbeat(req.ID, req.Running, req.Queued, req.SentUnixUS) {
 		// Unknown worker: the coordinator restarted (or never saw this
 		// worker). The 404 is the re-register signal the agent acts on.
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown worker %q, re-register", req.ID)})
@@ -348,6 +474,7 @@ func (c *Coordinator) statusLocked(j *job) jobStatusResponse {
 	if j.remoteID != "" {
 		st.QueuedMS = j.remote.QueuedMS
 		st.RunMS = j.remote.RunMS
+		st.Profiled = j.remote.Profiled
 	} else if j.state == service.StateQueued {
 		st.QueuedMS = ms(time.Since(j.submitted))
 	}
@@ -356,7 +483,7 @@ func (c *Coordinator) statusLocked(j *job) jobStatusResponse {
 
 // newJob registers a job in the queued state; it returns nil once the
 // coordinator is draining (see Shutdown).
-func (c *Coordinator) newJob(name, key string, req service.SubmitRequest) *job {
+func (c *Coordinator) newJob(name, key string, req service.SubmitRequest, traceCtx obs.TraceContext, requestID string) *job {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -368,9 +495,21 @@ func (c *Coordinator) newJob(name, key string, req service.SubmitRequest) *job {
 		name:      name,
 		key:       key,
 		req:       req,
+		requestID: requestID,
 		submitted: time.Now(),
 		cancelCh:  make(chan struct{}),
 		state:     service.StateQueued,
+	}
+	if req.Trace {
+		j.tracer = obs.NewTracer("fleet:" + j.id)
+		j.tracer.SetProcess("coordinator")
+		if traceCtx.Valid() {
+			// Continue the submitter's distributed trace.
+			j.tracer.Link(traceCtx)
+		} else {
+			// The coordinator is the distributed root.
+			j.tracer.SetTraceID(obs.NewTraceContext().TraceID)
+		}
 	}
 	if c.cfg.JournalEvents > 0 {
 		j.recorder = journal.NewRecorder(c.cfg.JournalEvents)

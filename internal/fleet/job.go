@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tqec/internal/journal"
+	"tqec/internal/obs"
 	"tqec/internal/service"
 )
 
@@ -25,6 +26,13 @@ type job struct {
 	// pipeline journal is streamed via the proxied events endpoint, not
 	// duplicated here. Nil when Config.JournalEvents is negative.
 	recorder *journal.Recorder
+	// requestID is the submitter's X-Request-ID, threaded into every
+	// coordinator log line for this job and onto outbound worker calls.
+	requestID string
+	// tracer owns the coordinator half of the distributed trace (nil for
+	// untraced jobs; every span call no-ops on nil). The worker half is
+	// fetched and grafted on demand by GET /v1/jobs/{id}/trace.
+	tracer *obs.Tracer
 	// cancelCh closes when cancellation is requested, waking a
 	// supervisor out of a backoff sleep immediately.
 	cancelCh chan struct{}
@@ -49,6 +57,12 @@ type job struct {
 func (c *Coordinator) supervise(j *job) {
 	defer c.wg.Done()
 	ctx := c.rootCtx
+	if j.requestID != "" {
+		ctx = obs.WithRequestID(ctx, j.requestID)
+	}
+	// Every span call below is a no-op for untraced jobs (nil tracer,
+	// nil spans), so the untraced supervisor path is byte-identical.
+	root := j.tracer.Root()
 	attempt := 0
 	exclude := "" // the worker the previous attempt failed on
 	for {
@@ -61,14 +75,37 @@ func (c *Coordinator) supervise(j *job) {
 			return
 		}
 
+		rs := root.StartChild("route-decision")
 		w, affinity, ok := route(c.reg.alive(), j.key, exclude, c.cfg.MaxImbalance)
 		if !ok {
+			rs.SetAttr("outcome", "no-alive-workers")
+			rs.End()
 			attempt++
 			c.retryDelay(ctx, j, attempt, "", errors.New("no alive workers"))
 			continue
 		}
-		st, err := c.dispatch(ctx, j, w)
+		rs.SetAttr("worker", w.ID)
+		rs.SetAttr("affinity", affinity)
+		rs.SetAttr("attempt", attempt+1)
+		rs.End()
+
+		// The dispatch span covers the whole attempt — submit, tracking,
+		// and result fetch — so the worker's grafted pipeline tree nests
+		// inside it. Each attempt gets its own span; the stitcher grafts
+		// under the last one, the attempt whose worker actually finished.
+		ds := root.StartChild("dispatch")
+		ds.SetAttr("worker", w.ID)
+		dctx := ctx
+		if j.tracer != nil {
+			// Hand the worker our trace identity so its tracer joins the
+			// same distributed trace.
+			hop := obs.TraceContext{TraceID: j.tracer.TraceID(), SpanID: obs.NewSpanID()}
+			dctx = obs.WithTraceparent(ctx, hop)
+		}
+		st, err := c.dispatch(dctx, j, w)
 		if err != nil {
+			ds.SetAttr("error", err.Error())
+			ds.End()
 			var se *service.StatusError
 			if errors.As(err, &se) && se.Code == http.StatusBadRequest {
 				// The worker understood and rejected the submission;
@@ -82,6 +119,7 @@ func (c *Coordinator) supervise(j *job) {
 			c.retryDelay(ctx, j, attempt, w.ID, err)
 			continue
 		}
+		ds.SetAttr("remote_id", st.ID)
 
 		attempt++
 		exclude = w.ID
@@ -97,12 +135,14 @@ func (c *Coordinator) supervise(j *job) {
 		c.reg.addInflight(w.ID, -1)
 		c.metrics.jobsInflight.Add(-1)
 		if trackErr == nil && completeErr == nil {
+			ds.End()
 			return
 		}
 
 		// Coordinator shutdown, not worker failure: abandon the job
 		// without blaming the worker.
 		if c.rootCtx.Err() != nil {
+			ds.End()
 			c.finish(j, service.StateCanceled, "canceled: coordinator shutting down", nil)
 			return
 		}
@@ -110,6 +150,8 @@ func (c *Coordinator) supervise(j *job) {
 		if reason == nil {
 			reason = completeErr
 		}
+		ds.SetAttr("error", reason.Error())
+		ds.End()
 		c.reg.markDead(w.ID)
 		if c.maybeFinishCanceled(j) {
 			return
@@ -120,7 +162,13 @@ func (c *Coordinator) supervise(j *job) {
 		c.mu.Unlock()
 		j.recorder.DispatchRetried(w.ID + ": " + reason.Error())
 		c.logJob(j, "failover", "worker", w.ID, "err", reason.Error(), "attempt", attempt)
-		if err := c.sleepRetry(ctx, j, attempt-1); err != nil {
+		fs := root.StartChild("failover")
+		fs.SetAttr("worker", w.ID)
+		fs.SetAttr("reason", reason.Error())
+		fs.SetAttr("attempt", attempt)
+		err = c.sleepRetry(ctx, j, attempt-1)
+		fs.End()
+		if err != nil {
 			continue // loop top classifies cancel vs shutdown
 		}
 	}
@@ -138,7 +186,11 @@ func (c *Coordinator) retryDelay(ctx context.Context, j *job, attempt int, worke
 	}
 	j.recorder.DispatchRetried(reason)
 	c.logJob(j, "dispatch-retry", "reason", reason, "attempt", attempt)
+	rs := j.tracer.Root().StartChild("retry")
+	rs.SetAttr("attempt", attempt)
+	rs.SetAttr("reason", reason)
 	_ = c.sleepRetry(ctx, j, attempt-1)
+	rs.End()
 }
 
 // sleepRetry backs off before the next dispatch attempt, waking early
@@ -337,6 +389,7 @@ func (c *Coordinator) finish(j *job, state service.State, errMsg string, payload
 		j.recorder.JobState(string(state), errMsg)
 		j.recorder.Close()
 	}
+	j.tracer.Finish()
 	if c.cfg.MaxFinishedJobs >= 0 {
 		c.finished = append(c.finished, j.id)
 		for len(c.finished) > c.cfg.MaxFinishedJobs {
@@ -386,7 +439,13 @@ func (c *Coordinator) requestCancel(ctx context.Context, j *job) (service.State,
 	return st, true
 }
 
-// logJob emits one structured coordinator log line for a job.
+// logJob emits one structured coordinator log line for a job, carrying
+// the submitter's request ID when one arrived so coordinator and worker
+// log lines for the same submission correlate.
 func (c *Coordinator) logJob(j *job, event string, attrs ...any) {
-	c.logger.Info(event, append([]any{"job", j.id, "name", j.name}, attrs...)...)
+	base := []any{"job", j.id, "name", j.name}
+	if j.requestID != "" {
+		base = append(base, "req_id", j.requestID)
+	}
+	c.logger.Info(event, append(base, attrs...)...)
 }

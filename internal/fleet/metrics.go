@@ -46,6 +46,9 @@ var fleetSecondsBounds = []float64{
 
 func newFleetMetrics() *fleetMetrics {
 	reg := obs.NewRegistry()
+	// The coordinator process reports its own vitals too, so every
+	// /metrics surface in a fleet carries the go_* families.
+	obs.RegisterRuntimeMetrics(reg)
 	return &fleetMetrics{
 		reg: reg,
 

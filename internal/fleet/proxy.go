@@ -275,6 +275,11 @@ func addSnapshot(agg *service.MetricsSnapshot, s service.MetricsSnapshot) {
 	agg.Cache.Misses += s.Cache.Misses
 	agg.Cache.Evictions += s.Cache.Evictions
 	agg.Cache.Entries += s.Cache.Entries
+	agg.SlowProfiles.Started += s.SlowProfiles.Started
+	agg.SlowProfiles.Skipped += s.SlowProfiles.Skipped
+	agg.Runtime.Goroutines += s.Runtime.Goroutines
+	agg.Runtime.HeapBytes += s.Runtime.HeapBytes
+	agg.Runtime.GCPauseCount += s.Runtime.GCPauseCount
 	agg.Pipeline.AnnealMoves += s.Pipeline.AnnealMoves
 	agg.Pipeline.AnnealAccepted += s.Pipeline.AnnealAccepted
 	agg.Pipeline.RouteRounds += s.Pipeline.RouteRounds

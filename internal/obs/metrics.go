@@ -144,6 +144,7 @@ const (
 	kindGaugeFunc
 	kindHistogram
 	kindHistogramVec
+	kindHistogramFunc
 )
 
 func (k metricKind) String() string {
@@ -165,6 +166,7 @@ type family struct {
 	gauge      *Gauge
 	gaugeFn    func() float64
 	hist       *Histogram
+	histFn     func() HistSnapshot
 	vec        *HistogramVec
 }
 
@@ -220,6 +222,14 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// HistogramFunc registers a histogram whose full snapshot is computed
+// at scrape time — the bridge for externally maintained distributions
+// such as the runtime/metrics GC-pause histogram, whose buckets the
+// runtime owns.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistSnapshot) {
+	r.add(&family{name: name, help: help, kind: kindHistogramFunc, histFn: fn})
+}
+
 // HistogramVec registers and returns a one-label histogram family.
 func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
 	if bounds == nil {
@@ -250,6 +260,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
 		case kindHistogram:
 			writeHistSeries(&b, f.name, "", "", f.hist.Snapshot())
+		case kindHistogramFunc:
+			writeHistSeries(&b, f.name, "", "", f.histFn())
 		case kindHistogramVec:
 			snaps := f.vec.Snapshot()
 			values := make([]string, 0, len(snaps))

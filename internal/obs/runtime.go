@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// The runtime/metrics samples backing the go_* self-telemetry families.
+const (
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleHeapBytes  = "/memory/classes/heap/objects:bytes"
+	sampleGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// RuntimeStats is one consistent read of the process's own vitals.
+type RuntimeStats struct {
+	Goroutines int64
+	HeapBytes  int64
+	GCPauses   HistSnapshot // seconds
+}
+
+// ReadRuntimeStats samples the Go runtime. Reads are cheap (no
+// stop-the-world) and taken fresh on every call, so scrape-time
+// registration via GaugeFunc/HistogramFunc always reports live values.
+func ReadRuntimeStats() RuntimeStats {
+	samples := []metrics.Sample{
+		{Name: sampleGoroutines},
+		{Name: sampleHeapBytes},
+		{Name: sampleGCPauses},
+	}
+	metrics.Read(samples)
+	var out RuntimeStats
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		out.Goroutines = int64(samples[0].Value.Uint64())
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		out.HeapBytes = int64(samples[1].Value.Uint64())
+	}
+	if samples[2].Value.Kind() == metrics.KindFloat64Histogram {
+		out.GCPauses = convertRuntimeHist(samples[2].Value.Float64Histogram())
+	}
+	return out
+}
+
+// convertRuntimeHist maps a runtime Float64Histogram (Counts[i] counts
+// samples in [Buckets[i], Buckets[i+1])) onto the registry's
+// upper-bound HistSnapshot shape. A trailing +Inf boundary becomes the
+// implicit overflow bucket; a leading -Inf boundary folds into the
+// first finite bucket. The runtime does not track an exact sum, so Sum
+// is reconstructed from bucket lower bounds — an undercount, flagged as
+// approximate in the family help text.
+func convertRuntimeHist(h *metrics.Float64Histogram) HistSnapshot {
+	n := len(h.Counts)
+	if n == 0 || len(h.Buckets) != n+1 {
+		return HistSnapshot{Counts: []int64{0}}
+	}
+	snap := HistSnapshot{
+		Bounds: make([]float64, 0, n),
+		Counts: make([]int64, 0, n+1),
+	}
+	var inf int64
+	for i, c := range h.Counts {
+		upper := h.Buckets[i+1]
+		if math.IsInf(upper, 1) {
+			inf += int64(c)
+			continue
+		}
+		snap.Bounds = append(snap.Bounds, upper)
+		snap.Counts = append(snap.Counts, int64(c))
+		snap.Count += int64(c)
+		lower := h.Buckets[i]
+		if math.IsInf(lower, -1) || lower < 0 {
+			lower = 0
+		}
+		snap.Sum += float64(c) * lower
+	}
+	snap.Counts = append(snap.Counts, inf)
+	snap.Count += inf
+	if inf > 0 {
+		last := h.Buckets[len(h.Buckets)-2]
+		if !math.IsInf(last, -1) && last > 0 {
+			snap.Sum += float64(inf) * last
+		}
+	}
+	return snap
+}
+
+// RegisterRuntimeMetrics adds the go_* self-telemetry families to a
+// registry: goroutine count, heap bytes in use, and the GC pause
+// distribution, all sampled from runtime/metrics at scrape time. Every
+// /metrics surface (standalone daemon, fleet worker, coordinator)
+// registers these so operators can watch the process itself alongside
+// the pipeline it runs.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(ReadRuntimeStats().Goroutines)
+	})
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(ReadRuntimeStats().HeapBytes)
+	})
+	r.HistogramFunc("go_gc_pauses_seconds", "Distribution of GC stop-the-world pause latencies (sum approximated from bucket lower bounds).", func() HistSnapshot {
+		return ReadRuntimeStats().GCPauses
+	})
+}

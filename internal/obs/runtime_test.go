@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestReadRuntimeStats(t *testing.T) {
+	runtime.GC() // ensure at least one pause has been recorded
+	st := ReadRuntimeStats()
+	if st.Goroutines < 1 {
+		t.Fatalf("Goroutines = %d, want >= 1", st.Goroutines)
+	}
+	if st.HeapBytes <= 0 {
+		t.Fatalf("HeapBytes = %d, want > 0", st.HeapBytes)
+	}
+	if len(st.GCPauses.Counts) != len(st.GCPauses.Bounds)+1 {
+		t.Fatalf("GC pause histogram shape: %d counts for %d bounds",
+			len(st.GCPauses.Counts), len(st.GCPauses.Bounds))
+	}
+	var total int64
+	for _, c := range st.GCPauses.Counts {
+		if c < 0 {
+			t.Fatalf("negative bucket count %d", c)
+		}
+		total += c
+	}
+	if total != st.GCPauses.Count {
+		t.Fatalf("Count = %d but buckets sum to %d", st.GCPauses.Count, total)
+	}
+}
+
+func TestConvertRuntimeHist(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{2, 3, 1},
+		Buckets: []float64{math.Inf(-1), 0.001, 0.01, math.Inf(1)},
+	}
+	snap := convertRuntimeHist(h)
+	// The +Inf upper bucket folds into the overflow slot; the -Inf lower
+	// bound clamps to zero for the approximate sum.
+	if want := []float64{0.001, 0.01}; len(snap.Bounds) != len(want) || snap.Bounds[0] != want[0] || snap.Bounds[1] != want[1] {
+		t.Fatalf("Bounds = %v, want %v", snap.Bounds, want)
+	}
+	if len(snap.Counts) != 3 || snap.Counts[0] != 2 || snap.Counts[1] != 3 || snap.Counts[2] != 1 {
+		t.Fatalf("Counts = %v, want [2 3 1]", snap.Counts)
+	}
+	if snap.Count != 6 {
+		t.Fatalf("Count = %d, want 6", snap.Count)
+	}
+	// Sum: 2 samples at clamped lower 0, 3 at 0.001, 1 overflow at 0.01.
+	if want := 3*0.001 + 1*0.01; math.Abs(snap.Sum-want) > 1e-12 {
+		t.Fatalf("Sum = %g, want %g", snap.Sum, want)
+	}
+
+	if snap := convertRuntimeHist(&metrics.Float64Histogram{}); len(snap.Counts) != 1 || snap.Counts[0] != 0 {
+		t.Fatalf("empty histogram → %v, want single zero bucket", snap)
+	}
+}
+
+// TestRegisterRuntimeMetrics pins the go_* family names every /metrics
+// surface exposes, and that they carry live (non-zero) values at scrape
+// time.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	runtime.GC()
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, family := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_memstats_heap_alloc_bytes gauge",
+		"# TYPE go_gc_pauses_seconds histogram",
+		"go_gc_pauses_seconds_bucket{le=\"+Inf\"}",
+		"go_gc_pauses_seconds_count",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("exposition missing %q", family)
+		}
+	}
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Error("go_goroutines scraped as 0; GaugeFunc not sampling live")
+	}
+}

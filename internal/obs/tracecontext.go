@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext is the W3C-traceparent-style identity of one logical
+// distributed trace: a 16-byte trace ID shared by every process the
+// trace crosses, and the 8-byte ID of the span that was current on the
+// sending side of a hop. Both are lowercase hex strings.
+//
+// Trace contexts exist only for traced work, which is opt-in, so the
+// crypto/rand draws here can never perturb the deterministic pipeline:
+// untraced runs never construct one.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex chars, not all-zero
+	SpanID  string // 16 lowercase hex chars, not all-zero
+}
+
+// Valid reports whether both IDs have the right shape and are non-zero.
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// NewTraceContext draws a fresh trace ID and root span ID.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: NewSpanID()}
+}
+
+// NewSpanID draws a fresh 8-byte span ID for one outbound hop.
+func NewSpanID() string { return randHex(8) }
+
+// NewRequestID draws a fresh 8-byte request ID for X-Request-ID log
+// correlation.
+func NewRequestID() string { return randHex(8) }
+
+func randHex(nbytes int) string {
+	b := make([]byte, nbytes)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; a determinstic
+		// non-zero fallback keeps Valid() true rather than panicking in
+		// an observability path.
+		for i := range b {
+			b[i] = 0xff
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// Traceparent renders the context in W3C traceparent form,
+// "00-<trace-id>-<span-id>-01" (version 00, sampled flag set — a trace
+// context only exists when tracing is on).
+func (tc TraceContext) Traceparent() string {
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// ParseTraceparent decodes a traceparent header. Malformed headers
+// return an error; callers are expected to fall back to a fresh root
+// trace rather than fail the request.
+func ParseTraceparent(h string) (TraceContext, error) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: want 4 dash-separated fields, got %d", h, len(parts))
+	}
+	if len(parts[0]) != 2 || !validHexPair(parts[0]) || parts[0] == "ff" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad version %q", h, parts[0])
+	}
+	tc := TraceContext{TraceID: parts[1], SpanID: parts[2]}
+	if !validHexID(tc.TraceID, 32) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad trace-id %q", h, parts[1])
+	}
+	if !validHexID(tc.SpanID, 16) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad parent-id %q", h, parts[2])
+	}
+	if len(parts[3]) != 2 || !validHexPair(parts[3]) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad flags %q", h, parts[3])
+	}
+	return tc, nil
+}
+
+func validHexPair(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceparentHeader is the canonical outbound header name.
+const TraceparentHeader = "traceparent"
+
+// RequestIDHeader is the log-correlation header name.
+const RequestIDHeader = "X-Request-ID"
+
+type traceparentKey struct{}
+type requestIDKey struct{}
+
+// WithTraceparent returns ctx carrying tc for outbound HTTP
+// serialization. An invalid context returns ctx unchanged.
+func WithTraceparent(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceparentKey{}, tc)
+}
+
+// TraceparentFrom returns the outbound trace context carried by ctx.
+func TraceparentFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceparentKey{}).(TraceContext)
+	return tc, ok
+}
+
+// WithRequestID returns ctx carrying a request ID for outbound HTTP
+// serialization and log correlation. Empty IDs return ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("NewTraceContext() = %+v, not valid", tc)
+	}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("id lengths = %d/%d, want 32/16", len(tc.TraceID), len(tc.SpanID))
+	}
+	h := tc.Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("Traceparent() = %q, want 00-…-01", h)
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v, want %+v", got, tc)
+	}
+}
+
+// TestParseTraceparentMalformed pins the strictness of the codec: every
+// malformed header must error so the receiver falls back to a fresh
+// local root instead of propagating garbage identifiers.
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := NewTraceContext()
+	cases := []struct {
+		name   string
+		header string
+	}{
+		{"empty", ""},
+		{"three fields", "00-" + valid.TraceID + "-" + valid.SpanID},
+		{"five fields", valid.Traceparent() + "-00"},
+		{"forbidden version ff", "ff-" + valid.TraceID + "-" + valid.SpanID + "-01"},
+		{"short version", "0-" + valid.TraceID + "-" + valid.SpanID + "-01"},
+		{"short trace id", "00-" + valid.TraceID[:31] + "-" + valid.SpanID + "-01"},
+		{"uppercase trace id", "00-" + strings.ToUpper(valid.TraceID) + "-" + valid.SpanID + "-01"},
+		{"non-hex trace id", "00-" + strings.Repeat("zz", 16) + "-" + valid.SpanID + "-01"},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + valid.SpanID + "-01"},
+		{"short span id", "00-" + valid.TraceID + "-" + valid.SpanID[:15] + "-01"},
+		{"all-zero span id", "00-" + valid.TraceID + "-" + strings.Repeat("0", 16) + "-01"},
+		{"bad flags length", "00-" + valid.TraceID + "-" + valid.SpanID + "-1"},
+		{"non-hex flags", "00-" + valid.TraceID + "-" + valid.SpanID + "-zz"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseTraceparent(tc.header)
+			if err == nil {
+				t.Fatalf("ParseTraceparent(%q) = %+v, want error", tc.header, got)
+			}
+			if got.Valid() {
+				t.Fatalf("malformed header produced a valid context %+v", got)
+			}
+		})
+	}
+}
+
+func TestTraceContextCarriers(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceparentFrom(ctx); ok {
+		t.Fatal("empty context claims a traceparent")
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		t.Fatal("empty context claims a request ID")
+	}
+	tc := NewTraceContext()
+	ctx = WithTraceparent(ctx, tc)
+	ctx = WithRequestID(ctx, "req-1234")
+	if got, ok := TraceparentFrom(ctx); !ok || got != tc {
+		t.Fatalf("TraceparentFrom = %+v/%v, want %+v/true", got, ok, tc)
+	}
+	if id := RequestIDFrom(ctx); id != "req-1234" {
+		t.Fatalf("RequestIDFrom = %q, want req-1234", id)
+	}
+}
+
+func TestTracerLinkAndSetTraceID(t *testing.T) {
+	tr := NewTracer("job:test")
+	if id := tr.TraceID(); id != "" {
+		t.Fatalf("fresh tracer has trace ID %q", id)
+	}
+	tc := NewTraceContext()
+	tr.Link(tc)
+	if tr.TraceID() != tc.TraceID {
+		t.Fatalf("TraceID after Link = %q, want %q", tr.TraceID(), tc.TraceID)
+	}
+	tr.Finish()
+	tree := tr.Tree()
+	if tree.TraceID != tc.TraceID || tree.ParentSpanID != tc.SpanID {
+		t.Fatalf("tree carries %q/%q, want %q/%q", tree.TraceID, tree.ParentSpanID, tc.TraceID, tc.SpanID)
+	}
+	if tree.EpochUnixUS == 0 {
+		t.Fatal("linked tree has no epoch anchor")
+	}
+
+	// An invalid context must not disturb the identity.
+	tr.Link(TraceContext{TraceID: "nope", SpanID: "nah"})
+	if tr.TraceID() != tc.TraceID {
+		t.Fatal("invalid Link overwrote the trace ID")
+	}
+
+	// SetTraceID makes the tracer a distributed root: no remote parent.
+	tr2 := NewTracer("fleet:f1")
+	tr2.SetTraceID(tc.TraceID)
+	tr2.SetProcess("coordinator")
+	tr2.Finish()
+	tree2 := tr2.Tree()
+	if tree2.TraceID != tc.TraceID || tree2.ParentSpanID != "" {
+		t.Fatalf("root tree = %q/%q, want %q/(none)", tree2.TraceID, tree2.ParentSpanID, tc.TraceID)
+	}
+	if tree2.Process != "coordinator" {
+		t.Fatalf("process = %q, want coordinator", tree2.Process)
+	}
+
+	// A purely local tracer's document keeps the historical shape: no
+	// distributed fields at all.
+	local := NewTracer("compile")
+	local.Finish()
+	lt := local.Tree()
+	if lt.TraceID != "" || lt.ParentSpanID != "" || lt.EpochUnixUS != 0 || lt.Process != "" {
+		t.Fatalf("local tree grew distributed fields: %+v", lt)
+	}
+}
+
+func TestNilTracerDistributedMethodsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Link(NewTraceContext())
+	tr.SetTraceID(NewTraceContext().TraceID)
+	tr.SetProcess("x")
+	if tr.TraceID() != "" {
+		t.Fatal("nil tracer has a trace ID")
+	}
+	if tr.Tree() != nil {
+		t.Fatal("nil tracer has a tree")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"tqec/internal/obs"
 )
 
 // Client is the HTTP client for a tqecd job service — the one shared
@@ -57,6 +59,31 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// newRequest builds one protocol request with the correlation headers
+// every outbound call carries: a tqecd/<version> User-Agent, an
+// X-Request-ID (propagated from the context when the caller is itself
+// serving a correlated request, freshly drawn otherwise) so one job's
+// log lines grep together across tqecc, coordinator, and worker, and —
+// when the context carries a distributed trace context — a W3C
+// traceparent header tying the receiver's spans into the caller's
+// trace.
+func (c *Client) newRequest(ctx context.Context, method, path string, rd io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("User-Agent", "tqecd/"+obs.Version())
+	rid := obs.RequestIDFrom(ctx)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	req.Header.Set(obs.RequestIDHeader, rid)
+	if tc, ok := obs.TraceparentFrom(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	}
+	return req, nil
+}
+
 // do issues one request and decodes the JSON response into out (skipped
 // when out is nil). Non-2xx responses become *StatusError carrying the
 // daemon's error message.
@@ -69,9 +96,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
+	req, err := c.newRequest(ctx, method, path, rd)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -125,6 +152,44 @@ func (c *Client) Result(ctx context.Context, id string) (*ResultPayload, error) 
 		return nil, err
 	}
 	return &p, nil
+}
+
+// Trace fetches the span tree of a traced, finished job (404/409
+// become StatusErrors, matching the endpoint's contract).
+func (c *Client) Trace(ctx context.Context, id string) (*obs.SpanJSON, error) {
+	var sp obs.SpanJSON
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &sp); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// Profile fetches the raw pprof CPU profile of a slow job. A job that
+// never crossed the daemon's -profile-slow-after threshold answers 404
+// (a StatusError).
+func (c *Client) Profile(ctx context.Context, id string) ([]byte, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/profile", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET profile: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: read profile: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	return raw, nil
 }
 
 // Cancel requests cancellation of a queued or running job.

@@ -69,6 +69,12 @@ type Config struct {
 	// late subscriber (default 4096; negative disables journaling
 	// entirely, making the events and journal endpoints answer 404).
 	JournalEvents int
+	// SlowProfileAfter arms slow-job flight-data capture: a job still
+	// running after this long records a pprof CPU profile, retrievable
+	// via GET /v1/jobs/{id}/profile once the job finishes (0 disables).
+	// Capture is best-effort — runtime/pprof allows one CPU profile per
+	// process, so when two slow jobs overlap only the first records.
+	SlowProfileAfter time.Duration
 	// Logger receives structured per-job log lines (default: text handler
 	// on stderr at info level, the same shape the tqec CLIs use).
 	Logger *slog.Logger
@@ -142,6 +148,13 @@ type Job struct {
 	timeout  time.Duration
 	noCache  bool
 	trace    bool
+	// traceCtx is the inbound distributed trace context (from a
+	// traceparent header) the job's tracer links under; zero when the
+	// submission is the trace root. requestID is the X-Request-ID the
+	// submission carried (or ""), stamped on every log line. Both are
+	// immutable after newJob.
+	traceCtx  obs.TraceContext
+	requestID string
 
 	state           State
 	cached          bool
@@ -153,6 +166,7 @@ type Job struct {
 	finished        time.Time
 	payload         *ResultPayload
 	tracer          *obs.Tracer // non-nil once a traced job starts running
+	profile         []byte      // pprof CPU profile of a slow job; nil otherwise
 
 	// recorder is the job's flight recorder, created at submission so even
 	// queued, cache-answered, and rejected jobs stream their lifecycle;
@@ -276,7 +290,7 @@ func (s *Server) Close() {
 }
 
 // newJob registers a job in the queued state. Callers hold no locks.
-func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int, timeout time.Duration, noCache, trace bool) *Job {
+func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Options, seeds []int64, parallel int, timeout time.Duration, noCache, trace bool, traceCtx obs.TraceContext, requestID string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -291,6 +305,8 @@ func (s *Server) newJob(name, key string, c *circuit.Circuit, opt compress.Optio
 		timeout:   timeout,
 		noCache:   noCache,
 		trace:     trace,
+		traceCtx:  traceCtx,
+		requestID: requestID,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -345,6 +361,14 @@ func (s *Server) runJob(j *Job) {
 	// interleave spans; untraced jobs keep the nil fast path.
 	if j.trace {
 		j.tracer = obs.NewTracer("job:" + j.ID)
+		if j.traceCtx.Valid() {
+			// The submission arrived with a traceparent header: this
+			// job's span tree is a subtree of the caller's distributed
+			// trace (the fleet coordinator stitches it back under its
+			// dispatch span). A malformed or absent header leaves the
+			// tracer a fresh local root.
+			j.tracer.Link(j.traceCtx)
+		}
 		ctx = obs.WithTracer(ctx, j.tracer)
 	}
 	if j.recorder != nil {
@@ -362,11 +386,14 @@ func (s *Server) runJob(j *Job) {
 	s.log(j, "start", "seeds", len(j.seeds), "effort", int(j.opt.Effort),
 		"mode", j.opt.Mode.String(), "timeout", j.timeout, "trace", j.trace)
 
+	prof := s.armSlowProfile(j)
 	res, err := s.compile(ctx, j.circ, j.opt, j.seeds, j.parallel)
+	profile := prof.stop()
 	j.tracer.Finish()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	j.profile = profile
 	j.finished = time.Now()
 	j.cancel = nil
 	runDur := j.finished.Sub(j.started)
@@ -542,9 +569,16 @@ func (s *Server) jobByID(id string) (*Job, bool) {
 }
 
 // log emits one structured per-job log line; every line carries the job
-// ID and name so a grep for job=j000042 reconstructs that job's history.
+// ID and name so a grep for job=j000042 reconstructs that job's history,
+// and — when the submission carried an X-Request-ID — the request ID, so
+// one logical job greps together across tqecc, coordinator, and worker.
 func (s *Server) log(j *Job, event string, attrs ...any) {
-	s.cfg.Logger.Info(event, append([]any{"job", j.ID, "name", j.Name}, attrs...)...)
+	base := make([]any, 0, 6+len(attrs))
+	base = append(base, "job", j.ID, "name", j.Name)
+	if j.requestID != "" {
+		base = append(base, "req_id", j.requestID)
+	}
+	s.cfg.Logger.Info(event, append(base, attrs...)...)
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

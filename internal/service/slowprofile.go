@@ -1,0 +1,91 @@
+package service
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cpuProfileSlot serializes CPU profiling process-wide: runtime/pprof
+// supports exactly one active CPU profile per process, and a second
+// Server embedded in the same binary (tests, future multi-tenant
+// setups) shares the same runtime.
+var cpuProfileSlot atomic.Bool
+
+// slowProfile is the flight-data recorder for one job: armed when the
+// job starts running, it fires after the configured threshold and
+// records a CPU profile of whatever the pipeline is doing until the job
+// ends. The timer callback races the job finishing; the mutex and the
+// stopped flag make arm/fire/stop linearizable in any order.
+type slowProfile struct {
+	s     *Server
+	j     *Job
+	timer *time.Timer
+
+	mu      sync.Mutex
+	buf     bytes.Buffer // guarded by mu
+	started bool         // guarded by mu; profile running, slot held
+	stopped bool         // guarded by mu; job ended, late fires are no-ops
+}
+
+// armSlowProfile starts the slow-job countdown for j. Returns a no-op
+// handle when capture is disabled.
+func (s *Server) armSlowProfile(j *Job) *slowProfile {
+	if s.cfg.SlowProfileAfter <= 0 {
+		return nil
+	}
+	p := &slowProfile{s: s, j: j}
+	p.timer = time.AfterFunc(s.cfg.SlowProfileAfter, p.fire)
+	return p
+}
+
+// fire runs in the timer goroutine once the job has been running for
+// the threshold. Capture is best-effort: if another job already holds
+// the process's one CPU-profile slot, this job skips (counted, logged)
+// rather than queueing — a profile of the tail of a slow job is only
+// useful if it covers that job's own work.
+func (p *slowProfile) fire() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	if !cpuProfileSlot.CompareAndSwap(false, true) {
+		p.s.metrics.slowProfilesSkipped.Inc()
+		p.s.log(p.j, "slow-profile-skipped", "after", p.s.cfg.SlowProfileAfter, "reason", "profiler busy")
+		return
+	}
+	if err := pprof.StartCPUProfile(&p.buf); err != nil {
+		// Lost a race with a non-registry profiler (e.g. the pprof debug
+		// mux); release the slot and skip.
+		cpuProfileSlot.Store(false)
+		p.s.metrics.slowProfilesSkipped.Inc()
+		p.s.log(p.j, "slow-profile-skipped", "after", p.s.cfg.SlowProfileAfter, "reason", err.Error())
+		return
+	}
+	p.started = true
+	p.s.metrics.slowProfilesStarted.Inc()
+	p.s.log(p.j, "slow-profile-started", "after", p.s.cfg.SlowProfileAfter)
+}
+
+// stop disarms the countdown (or ends a running capture) when the job
+// finishes, returning the profile bytes if one was recorded. Safe on a
+// nil handle (capture disabled).
+func (p *slowProfile) stop() []byte {
+	if p == nil {
+		return nil
+	}
+	p.timer.Stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stopped = true
+	if !p.started {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	cpuProfileSlot.Store(false)
+	p.started = false
+	return p.buf.Bytes()
+}
