@@ -20,6 +20,10 @@
 //	tqecd -debug-addr localhost:6060                         # net/http/pprof
 //	tqecd -log-level debug -log-format json                  # structured logs
 //	tqecd -profile-slow-after 30s                            # CPU-profile jobs that run long
+//	tqecd -self-scrape 10s -slo slo.json                     # metrics history + burn-rate alerts
+//	curl -s 'localhost:8142/v1/query_range?query=tqecd_*'    # retained samples
+//	curl -s localhost:8142/v1/alerts                         # SLO alert states
+//	tqec-top -addr localhost:8142                            # live terminal dashboard
 //
 // Fleet mode scales tqecd horizontally while keeping the wire API:
 //
@@ -51,6 +55,7 @@ import (
 	"tqec/internal/fleet"
 	"tqec/internal/obs"
 	"tqec/internal/service"
+	"tqec/internal/tsdb"
 )
 
 func main() {
@@ -78,6 +83,10 @@ func main() {
 		deadAge     = flag.Duration("dead-after", 0, "heartbeat age that declares a worker dead and fails over its jobs (coordinator role; 0 = 3x suspect-after)")
 		dispatchTry = flag.Int("dispatch-attempts", 3, "dispatch rounds (initial + retries + failovers) per job before it fails (coordinator role)")
 		pollEvery   = flag.Duration("poll-interval", 200*time.Millisecond, "status-poll cadence for dispatched jobs (coordinator role)")
+
+		selfScrape     = flag.Duration("self-scrape", 0, "metrics-history sample cadence behind GET /v1/query_range (0 disables history; coordinators also retain per-worker series)")
+		historySamples = flag.Int("history-samples", 0, "retained samples per metrics-history series (0 = default 512)")
+		sloPath        = flag.String("slo", "", "JSON file of SLO burn-rate objectives served at GET /v1/alerts (requires -self-scrape)")
 	)
 	flag.Parse()
 
@@ -96,6 +105,15 @@ func main() {
 		}()
 	}
 
+	var objectives []tsdb.Objective
+	if *sloPath != "" {
+		objectives, err = tsdb.LoadObjectives(*sloPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqecd: -slo:", err)
+			os.Exit(2)
+		}
+	}
+
 	svcConfig := service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -105,6 +123,9 @@ func main() {
 		MaxFinishedJobs:  *retain,
 		JournalEvents:    *journalEvs,
 		SlowProfileAfter: *slowAfter,
+		HistoryInterval:  *selfScrape,
+		HistorySamples:   *historySamples,
+		SLOs:             objectives,
 		Logger:           logger,
 	}
 
@@ -145,6 +166,9 @@ func main() {
 			PollInterval:      *pollEvery,
 			MaxFinishedJobs:   *retain,
 			JournalEvents:     *journalEvs,
+			HistoryInterval:   *selfScrape,
+			HistorySamples:    *historySamples,
+			SLOs:              objectives,
 			Logger:            logger,
 		})
 		serve(*addr, coord.Handler(), logger, *drainGrace, coord.Shutdown)

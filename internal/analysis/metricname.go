@@ -24,6 +24,7 @@ var registryMethods = map[string]struct{ counter, duration bool }{
 	"Counter":       {counter: true},
 	"Gauge":         {},
 	"GaugeFunc":     {},
+	"GaugeVec":      {},
 	"Histogram":     {duration: true},
 	"HistogramVec":  {duration: true},
 	"HistogramFunc": {duration: true},

@@ -26,6 +26,11 @@ func Register(r *obs.Registry) {
 	name := dynamicName()
 	r.Counter(name, "computed") // want "string literal"
 	r.GaugeFunc("tqecd_uptime_seconds", "ok", func() float64 { return 0 })
+	r.GaugeVec("tqecd_fleet_worker_clock_offset_us", "ok: labelled gauge family", "worker")
+	r.GaugeVec("tqecd_slo_burn_rate_fast", "ok: slo mirror family", "slo")
+	r.GaugeVec("worker_clock_offset_us", "missing prefix", "worker") // want "does not match"
+	r.Counter("tqecd_journal_dropped_events_total", "ok: journal health family")
+	r.Counter("tqecd_slo_transitions", "missing suffix") // want "must end in _total"
 }
 
 func dynamicName() string { return "tqecd_dynamic_total" }

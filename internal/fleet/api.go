@@ -105,6 +105,8 @@ func (c *Coordinator) routes() *http.ServeMux {
 	mux.HandleFunc("GET /fleet/v1/workers", c.handleWorkers)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /v1/query_range", c.handleQueryRange)
+	mux.HandleFunc("GET /v1/alerts", c.handleAlerts)
 	return mux
 }
 

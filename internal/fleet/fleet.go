@@ -43,6 +43,11 @@
 //	GET    /healthz               coordinator liveness + fleet summary
 //	GET    /metrics               fleet + aggregated worker metrics (JSON;
 //	                              Prometheus text when Accept: text/plain)
+//	GET    /v1/query_range        retained metrics history: coordinator
+//	                              families plus per-worker series tagged
+//	                              worker="<id>" (404 until -self-scrape)
+//	GET    /v1/alerts             SLO burn-rate alert states and recent
+//	                              transitions (404 until -slo)
 package fleet
 
 import (
@@ -55,6 +60,7 @@ import (
 
 	"tqec/internal/obs"
 	"tqec/internal/service"
+	"tqec/internal/tsdb"
 )
 
 // Config tunes the coordinator. Zero values select defaults.
@@ -91,6 +97,18 @@ type Config struct {
 	JournalEvents int
 	// Backoff shapes dispatch-retry delays.
 	Backoff Backoff
+	// HistoryInterval enables the metrics-history self-scrape loop: every
+	// interval the coordinator samples its own registry and live-scrapes
+	// each non-dead worker into the in-process time-series store behind
+	// GET /v1/query_range. Zero or negative disables history (the
+	// default), keeping an unobserved coordinator byte-identical to the
+	// pre-history behaviour.
+	HistoryInterval time.Duration
+	// HistorySamples bounds each retained series' ring (default 512).
+	HistorySamples int
+	// SLOs are burn-rate alert objectives evaluated after every scrape
+	// and served at GET /v1/alerts. Requires HistoryInterval > 0.
+	SLOs []tsdb.Objective
 	// Logger receives structured coordinator log lines (default: text
 	// handler on stderr, the shared obs shape).
 	Logger *slog.Logger
@@ -155,6 +173,12 @@ type Coordinator struct {
 	wg          sync.WaitGroup // per-job supervisors
 	monitorDone chan struct{}
 
+	// history/collector/slo are non-nil only when HistoryInterval > 0
+	// (and, for slo, when objectives are configured).
+	history   *tsdb.DB
+	collector *tsdb.Collector
+	slo       *tsdb.Engine
+
 	mu       sync.Mutex
 	jobs     map[string]*job // guarded by mu
 	nextID   int             // guarded by mu
@@ -176,6 +200,7 @@ func NewCoordinator(ctx context.Context, cfg Config) *Coordinator {
 		jobs:    map[string]*job{},
 	}
 	c.rootCtx, c.rootCancel = context.WithCancel(ctx)
+	c.startHistory()
 	c.mux = c.routes()
 	c.monitorDone = make(chan struct{})
 	go c.monitor()
@@ -210,6 +235,7 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.rootCancel()
 	<-done
 	<-c.monitorDone
+	c.stopCollector()
 	return err
 }
 
@@ -221,6 +247,15 @@ func (c *Coordinator) Close() {
 	c.rootCancel()
 	c.wg.Wait()
 	<-c.monitorDone
+	c.stopCollector()
+}
+
+// stopCollector halts the history self-scrape loop; safe to call twice
+// (Shutdown then Close) and with history disabled.
+func (c *Coordinator) stopCollector() {
+	if c.collector != nil {
+		c.collector.Stop()
+	}
 }
 
 // monitor ages worker liveness on a fixed cadence. Supervisors observe

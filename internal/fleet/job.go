@@ -388,6 +388,9 @@ func (c *Coordinator) finish(j *job, state service.State, errMsg string, payload
 	if j.recorder != nil {
 		j.recorder.JobState(string(state), errMsg)
 		j.recorder.Close()
+		if n := j.recorder.Dropped(); n > 0 {
+			c.metrics.journalDropped.Add(n)
+		}
 	}
 	j.tracer.Finish()
 	if c.cfg.MaxFinishedJobs >= 0 {

@@ -19,6 +19,16 @@ type fleetMetrics struct {
 	workersDead    *obs.Counter
 	registrations  *obs.Counter
 	heartbeats     *obs.Counter
+	// clockOffset is the per-worker heartbeat-derived clock-skew estimate
+	// (coordinator receive time minus worker send time, microseconds) —
+	// the same number trace stitching aligns span timestamps with,
+	// exported so skew is watchable before it corrupts a stitched trace.
+	clockOffset *obs.GaugeVec
+
+	// journalDropped counts events the coordinator's own per-job dispatch
+	// journals lost to their ring bounds (the workers' compile-journal
+	// drops are aggregated separately from their snapshots).
+	journalDropped *obs.Counter
 
 	jobsSubmitted *obs.Counter
 	jobsInflight  *obs.Gauge
@@ -57,6 +67,9 @@ func newFleetMetrics() *fleetMetrics {
 		workersDead:    reg.Counter("tqecd_fleet_workers_dead_total", "Workers declared dead after missing heartbeats."),
 		registrations:  reg.Counter("tqecd_fleet_registrations_total", "Worker registrations accepted (including re-registrations)."),
 		heartbeats:     reg.Counter("tqecd_fleet_heartbeats_total", "Worker heartbeats accepted."),
+		clockOffset:    reg.GaugeVec("tqecd_fleet_worker_clock_offset_us", "Estimated worker clock offset (coordinator receive minus worker send of the last heartbeat), microseconds.", "worker"),
+
+		journalDropped: reg.Counter("tqecd_journal_dropped_events_total", "Dispatch-journal events dropped by per-job ring bounds on the coordinator."),
 
 		jobsSubmitted: reg.Counter("tqecd_fleet_jobs_submitted_total", "Jobs accepted by the coordinator's POST /v1/jobs."),
 		jobsInflight:  reg.Gauge("tqecd_fleet_jobs_inflight", "Jobs the coordinator has dispatched and not yet seen terminal."),

@@ -212,20 +212,22 @@ func (c *Coordinator) metricsDoc() FleetMetricsDoc {
 	return doc
 }
 
-// scrapeWorkers fetches every non-dead worker's /metrics JSON document
-// concurrently (bounded to 2s each) and sums the families. Workers that
-// fail to answer are reported, not silently dropped.
-func (c *Coordinator) scrapeWorkers(ctx context.Context) (*service.MetricsSnapshot, []string) {
+// workerScrape is one worker's /metrics fetch outcome.
+type workerScrape struct {
+	id   string
+	snap service.MetricsSnapshot
+	err  error
+}
+
+// scrapeEach fetches every non-dead worker's /metrics JSON document
+// concurrently (bounded to 2s each). Both the on-demand aggregate and
+// the history loop's per-worker retention consume this.
+func (c *Coordinator) scrapeEach(ctx context.Context) []workerScrape {
 	workers := c.reg.snapshotIf(func(w *workerEntry) bool { return w.state != WorkerDead })
 	if len(workers) == 0 {
-		return nil, nil
+		return nil
 	}
-	type scrape struct {
-		snap service.MetricsSnapshot
-		err  error
-		id   string
-	}
-	results := make([]scrape, len(workers))
+	results := make([]workerScrape, len(workers))
 	var wg sync.WaitGroup
 	for i, wk := range workers {
 		wg.Add(1)
@@ -234,14 +236,20 @@ func (c *Coordinator) scrapeWorkers(ctx context.Context) (*service.MetricsSnapsh
 			sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 			defer cancel()
 			snap, err := c.workerClient(wk.URL).Metrics(sctx)
-			results[i] = scrape{snap: snap, err: err, id: wk.ID}
+			results[i] = workerScrape{snap: snap, err: err, id: wk.ID}
 		}(i, wk)
 	}
 	wg.Wait()
+	return results
+}
 
+// scrapeWorkers fetches every non-dead worker's metrics and sums the
+// families. Workers that fail to answer are reported, not silently
+// dropped.
+func (c *Coordinator) scrapeWorkers(ctx context.Context) (*service.MetricsSnapshot, []string) {
 	var agg *service.MetricsSnapshot
 	var errs []string
-	for _, r := range results {
+	for _, r := range c.scrapeEach(ctx) {
 		if r.err != nil {
 			errs = append(errs, r.id+": "+r.err.Error())
 			continue
@@ -275,6 +283,7 @@ func addSnapshot(agg *service.MetricsSnapshot, s service.MetricsSnapshot) {
 	agg.Cache.Misses += s.Cache.Misses
 	agg.Cache.Evictions += s.Cache.Evictions
 	agg.Cache.Entries += s.Cache.Entries
+	agg.Journal.DroppedEvents += s.Journal.DroppedEvents
 	agg.SlowProfiles.Started += s.SlowProfiles.Started
 	agg.SlowProfiles.Skipped += s.SlowProfiles.Skipped
 	agg.Runtime.Goroutines += s.Runtime.Goroutines

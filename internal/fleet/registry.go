@@ -121,6 +121,7 @@ func (r *registry) heartbeat(id string, running, queued int, sentUnixUS int64) b
 		w.queued = queued
 		if sentUnixUS != 0 {
 			w.clockOffset = time.Duration(now.UnixMicro()-sentUnixUS) * time.Microsecond
+			r.metrics.clockOffset.With(id).Set(float64(w.clockOffset.Microseconds()))
 		}
 		r.updateGaugesLocked()
 	}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -94,6 +95,48 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 }
 
+// FloatGauge is a float64-valued gauge, used for values that are not
+// naturally integral (burn rates, clock offsets). Set/Value are atomic.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a family of float gauges keyed by one label value (e.g.
+// per-worker clock offset, per-SLO burn rate).
+type GaugeVec struct {
+	mu     sync.Mutex
+	label  string
+	series map[string]*FloatGauge // guarded by mu
+}
+
+// With returns (creating on first use) the child gauge for a label
+// value.
+func (v *GaugeVec) With(value string) *FloatGauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.series[value]
+	if !ok {
+		g = &FloatGauge{}
+		v.series[value] = g
+	}
+	return g
+}
+
+// Snapshot copies every child's value keyed by label value.
+func (v *GaugeVec) Snapshot() map[string]float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]float64, len(v.series))
+	for value, g := range v.series {
+		out[value] = g.Value()
+	}
+	return out
+}
+
 // HistogramVec is a family of histograms keyed by one label value
 // (e.g. per-pipeline-stage latency).
 type HistogramVec struct {
@@ -142,6 +185,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindGaugeFunc
+	kindGaugeVec
 	kindHistogram
 	kindHistogramVec
 	kindHistogramFunc
@@ -151,7 +195,7 @@ func (k metricKind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindGaugeVec:
 		return "gauge"
 	default:
 		return "histogram"
@@ -165,6 +209,7 @@ type family struct {
 	counter    *Counter
 	gauge      *Gauge
 	gaugeFn    func() float64
+	gaugeVec   *GaugeVec
 	hist       *Histogram
 	histFn     func() HistSnapshot
 	vec        *HistogramVec
@@ -214,6 +259,13 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.add(&family{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
 }
 
+// GaugeVec registers and returns a one-label float-gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{label: label, series: map[string]*FloatGauge{}}
+	r.add(&family{name: name, help: help, kind: kindGaugeVec, gaugeVec: v})
+	return v
+}
+
 // Histogram registers and returns a histogram (nil bounds selects
 // DefaultLatencyBounds).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -258,6 +310,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", f.name, f.gauge.Value())
 		case kindGaugeFunc:
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
+		case kindGaugeVec:
+			snaps := f.gaugeVec.Snapshot()
+			values := make([]string, 0, len(snaps))
+			for v := range snaps {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelSuffix(f.gaugeVec.label, v), formatFloat(snaps[v]))
+			}
 		case kindHistogram:
 			writeHistSeries(&b, f.name, "", "", f.hist.Snapshot())
 		case kindHistogramFunc:
@@ -295,16 +357,134 @@ func labelPrefix(label, value string) string {
 	if label == "" {
 		return ""
 	}
-	// %q escapes backslashes, quotes, and newlines, which is exactly the
-	// Prometheus label-value escaping.
-	return fmt.Sprintf("%s=%q,", label, value)
+	return fmt.Sprintf("%s=\"%s\",", label, EscapeLabelValue(value))
 }
 
 func labelSuffix(label, value string) string {
 	if label == "" {
 		return ""
 	}
-	return fmt.Sprintf("{%s=%q}", label, value)
+	return fmt.Sprintf("{%s=\"%s\"}", label, EscapeLabelValue(value))
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format (version 0.0.4): backslash, double-quote, and
+// line-feed become \\, \", and \n — and nothing else. Go's %q is close
+// but wrong here: it also emits escapes the exposition grammar does not
+// define (\t, \xNN, \uNNNN), which a conforming scraper rejects or
+// reads literally. Label values arrive from the wild — worker IDs are
+// operator-chosen strings — so this must be exact.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SampleKind discriminates gathered samples. Histograms flatten into
+// counter samples (_bucket/_sum/_count), so only two kinds remain.
+const (
+	SampleCounter = "counter"
+	SampleGauge   = "gauge"
+)
+
+// Label is one name=value pair attached to a gathered Sample.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Sample is one flattened metric sample produced by Gather. Histogram
+// families expand into their Prometheus-shaped series — cumulative
+// `le`-labelled _bucket counters plus _sum and _count — so a consumer
+// (the tsdb self-scrape loop) sees a uniform stream of counter and
+// gauge points regardless of the family kind behind them.
+type Sample struct {
+	Name   string
+	Labels []Label // nil for unlabelled families
+	Kind   string  // SampleCounter or SampleGauge
+	Value  float64
+}
+
+// Gather flattens every registered family into samples, in registration
+// order. Scrape-time families (GaugeFunc, HistogramFunc) are evaluated
+// now, exactly as a text exposition scrape would.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var out []Sample
+	for _, f := range fams {
+		switch f.kind {
+		case kindCounter:
+			out = append(out, Sample{Name: f.name, Kind: SampleCounter, Value: float64(f.counter.Value())})
+		case kindGauge:
+			out = append(out, Sample{Name: f.name, Kind: SampleGauge, Value: float64(f.gauge.Value())})
+		case kindGaugeFunc:
+			out = append(out, Sample{Name: f.name, Kind: SampleGauge, Value: f.gaugeFn()})
+		case kindGaugeVec:
+			snaps := f.gaugeVec.Snapshot()
+			values := make([]string, 0, len(snaps))
+			for v := range snaps {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				out = append(out, Sample{
+					Name:   f.name,
+					Labels: []Label{{Name: f.gaugeVec.label, Value: v}},
+					Kind:   SampleGauge,
+					Value:  snaps[v],
+				})
+			}
+		case kindHistogram:
+			out = appendHistSamples(out, f.name, nil, f.hist.Snapshot())
+		case kindHistogramFunc:
+			out = appendHistSamples(out, f.name, nil, f.histFn())
+		case kindHistogramVec:
+			snaps := f.vec.Snapshot()
+			values := make([]string, 0, len(snaps))
+			for v := range snaps {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				out = appendHistSamples(out, f.name, []Label{{Name: f.vec.label, Value: v}}, snaps[v])
+			}
+		}
+	}
+	return out
+}
+
+// appendHistSamples flattens one histogram series the way the text
+// exposition renders it: cumulative buckets, then _sum and _count.
+func appendHistSamples(out []Sample, name string, labels []Label, s HistSnapshot) []Sample {
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		le := append(append([]Label(nil), labels...), Label{Name: "le", Value: formatFloat(bound)})
+		out = append(out, Sample{Name: name + "_bucket", Labels: le, Kind: SampleCounter, Value: float64(cum)})
+	}
+	cum += s.Counts[len(s.Bounds)]
+	le := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	out = append(out, Sample{Name: name + "_bucket", Labels: le, Kind: SampleCounter, Value: float64(cum)})
+	out = append(out, Sample{Name: name + "_sum", Labels: labels, Kind: SampleCounter, Value: s.Sum})
+	out = append(out, Sample{Name: name + "_count", Labels: labels, Kind: SampleCounter, Value: float64(s.Count)})
+	return out
 }
 
 func escapeHelp(h string) string {

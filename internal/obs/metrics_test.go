@@ -82,7 +82,7 @@ func TestPrometheusExposition(t *testing.T) {
 		`test_stage_ms_bucket{stage="place",le="10"} 1` + "\n",
 		`test_stage_ms_sum{stage="place"} 2` + "\n",
 		`test_stage_ms_count{stage="place"} 1` + "\n",
-		// %q escaping of quote and backslash in label values.
+		// Spec escaping of quote and backslash in label values.
 		`test_stage_ms_sum{stage="we\"ird\\stage"} 1` + "\n",
 	} {
 		if !strings.Contains(out, want) {
@@ -118,6 +118,121 @@ func assertBucketsMonotone(t *testing.T, exposition, prefix string) {
 	}
 	if n == 0 {
 		t.Fatalf("no bucket lines with prefix %q", prefix)
+	}
+}
+
+// TestLabelValueEscaping pins the v0.0.4 escaping rules on a
+// worker-id-shaped label value: exactly \\, \", and \n are escaped, and
+// characters %q would mangle (tab, non-ASCII) pass through raw.
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`w1`, `w1`},
+		{`host:8151`, `host:8151`},
+		{`w"1`, `w\"1`},
+		{`a\b`, `a\\b`},
+		{"line1\nline2", `line1\nline2`},
+		// A tab must stay a raw tab: the exposition grammar defines no \t
+		// escape, so emitting one (as %q would) corrupts the value.
+		{"a\tb", "a\tb"},
+		{"héllo", "héllo"},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+
+	// End to end: a GaugeVec keyed by a quote-bearing worker ID renders a
+	// line a conforming scraper can parse back to the original value.
+	r := NewRegistry()
+	r.GaugeVec("test_clock_offset_us", "Offset.", "worker").With(`w"quote\id`).Set(42)
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_clock_offset_us{worker="w\"quote\\id"} 42` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %q\n--- got ---\n%s", want, buf.String())
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_offset_us", "Offset.", "worker")
+	v.With("w1").Set(1.5)
+	v.With("w2").Set(-3)
+	v.With("w1").Set(2.5) // same child, updated
+	snap := v.Snapshot()
+	if len(snap) != 2 || snap["w1"] != 2.5 || snap["w2"] != -3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_offset_us gauge\n",
+		`test_offset_us{worker="w1"} 2.5` + "\n",
+		`test_offset_us{worker="w2"} -3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+}
+
+// TestGather pins the flattened sample stream the tsdb self-scrape loop
+// consumes: registration order, histogram expansion into cumulative
+// buckets, and scrape-time evaluation of func families.
+func TestGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_jobs_total", "Jobs.")
+	g := r.Gauge("test_running", "Running.")
+	r.GaugeFunc("test_depth", "Depth.", func() float64 { return 2.5 })
+	v := r.GaugeVec("test_offset_us", "Offset.", "worker")
+	h := r.Histogram("test_latency_ms", "Latency.", []float64{1, 10})
+
+	c.Add(3)
+	g.Set(7)
+	v.With("w1").Set(9)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	samples := r.Gather()
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		key := s.Name
+		for _, l := range s.Labels {
+			key += "|" + l.Name + "=" + l.Value
+		}
+		byKey[key] = s
+	}
+	checks := []struct {
+		key  string
+		kind string
+		val  float64
+	}{
+		{"test_jobs_total", SampleCounter, 3},
+		{"test_running", SampleGauge, 7},
+		{"test_depth", SampleGauge, 2.5},
+		{"test_offset_us|worker=w1", SampleGauge, 9},
+		{"test_latency_ms_bucket|le=1", SampleCounter, 1},
+		{"test_latency_ms_bucket|le=10", SampleCounter, 2},
+		{"test_latency_ms_bucket|le=+Inf", SampleCounter, 3},
+		{"test_latency_ms_sum", SampleCounter, 55.5},
+		{"test_latency_ms_count", SampleCounter, 3},
+	}
+	for _, c := range checks {
+		s, ok := byKey[c.key]
+		if !ok {
+			t.Errorf("Gather missing sample %q (got %v)", c.key, byKey)
+			continue
+		}
+		if s.Kind != c.kind || s.Value != c.val {
+			t.Errorf("sample %q = kind %q value %v, want %q %v", c.key, s.Kind, s.Value, c.kind, c.val)
+		}
 	}
 }
 

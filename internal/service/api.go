@@ -14,6 +14,7 @@ import (
 	"tqec/internal/compress"
 	"tqec/internal/obs"
 	"tqec/internal/revlib"
+	"tqec/internal/tsdb"
 )
 
 // SubmitRequest is the POST /v1/jobs body.
@@ -99,7 +100,29 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/query_range", s.handleQueryRange)
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	return mux
+}
+
+// handleQueryRange serves metrics history from the self-scrape store;
+// 404 when the loop is disabled (the daemon retains no history then).
+func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "metrics history disabled (start with -self-scrape > 0)"})
+		return
+	}
+	tsdb.HandleQueryRange(s.history)(w, r)
+}
+
+// handleAlerts serves SLO alert states and transition events; 404 when
+// no objectives are configured.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no SLOs configured (start with -slo objectives.json)"})
+		return
+	}
+	tsdb.HandleAlerts(s.slo)(w, r)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -40,6 +40,12 @@ type metrics struct {
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 
+	// journalDropped counts flight-recorder events lost to per-job ring
+	// bounds, folded in as each job reaches a terminal state. A nonzero
+	// value means GET /v1/jobs/{id}/events replays were incomplete —
+	// silent before this counter existed.
+	journalDropped *obs.Counter
+
 	// Pipeline-level counters, accumulated from the best-seed result of
 	// every completed compile: how much optimization work the daemon has
 	// performed, not just how many jobs it ran.
@@ -92,6 +98,8 @@ func newMetrics() *metrics {
 		cacheHits:      reg.Counter("tqecd_cache_hits_total", "Result-cache lookups that found an entry."),
 		cacheMisses:    reg.Counter("tqecd_cache_misses_total", "Result-cache lookups that found nothing."),
 		cacheEvictions: reg.Counter("tqecd_cache_evictions_total", "Result-cache entries evicted by the LRU bound."),
+
+		journalDropped: reg.Counter("tqecd_journal_dropped_events_total", "Flight-recorder journal events dropped by per-job ring bounds."),
 
 		annealMoves:    reg.Counter("tqecd_anneal_moves_total", "Simulated-annealing moves attempted across completed compiles (best seed)."),
 		annealAccepted: reg.Counter("tqecd_anneal_accepted_total", "Simulated-annealing moves accepted across completed compiles (best seed)."),
@@ -177,6 +185,11 @@ type MetricsSnapshot struct {
 		PrimalMerges   int64 `json:"primal_merges"`
 		DualBridges    int64 `json:"dual_bridges"`
 	} `json:"pipeline"`
+	// Journal reports flight-recorder health: events silently dropped by
+	// per-job ring bounds across all finished jobs.
+	Journal struct {
+		DroppedEvents int64 `json:"dropped_events"`
+	} `json:"journal"`
 	// SlowProfiles summarizes slow-job flight-data capture outcomes.
 	SlowProfiles struct {
 		Started int64 `json:"started"`
@@ -213,6 +226,7 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
 	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
 		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
 	}
+	s.Journal.DroppedEvents = m.journalDropped.Value()
 	s.SlowProfiles.Started = m.slowProfilesStarted.Value()
 	s.SlowProfiles.Skipped = m.slowProfilesSkipped.Value()
 	rt := obs.ReadRuntimeStats()

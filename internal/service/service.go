@@ -17,6 +17,10 @@
 //	GET    /v1/jobs/{id}/journal structured compression journal of a
 //	                            finished job (409 until terminal)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/query_range      metrics history frames from the self-scrape
+//	                            time-series store (404 when disabled)
+//	GET    /v1/alerts           SLO alert states and transition events
+//	                            (404 when no objectives are configured)
 //	GET    /healthz             liveness (503 while draining) + version, uptime, queue depth
 //	GET    /metrics             counters, cache stats, latency histograms
 //	                            (JSON by default; Prometheus text exposition
@@ -43,6 +47,7 @@ import (
 	"tqec/internal/drc"
 	"tqec/internal/journal"
 	"tqec/internal/obs"
+	"tqec/internal/tsdb"
 )
 
 // Config tunes the service. Zero values select defaults.
@@ -75,6 +80,20 @@ type Config struct {
 	// Capture is best-effort — runtime/pprof allows one CPU profile per
 	// process, so when two slow jobs overlap only the first records.
 	SlowProfileAfter time.Duration
+	// HistoryInterval enables the metrics-history self-scrape loop: every
+	// interval the daemon gathers its own metric registry into a bounded
+	// in-process time-series store served at GET /v1/query_range. Zero
+	// disables the loop entirely — no goroutine runs, the endpoint
+	// answers 404, and daemon behavior stays bit-identical.
+	HistoryInterval time.Duration
+	// HistorySamples bounds each retained series' sample ring (default
+	// tsdb.DefaultCapacity).
+	HistorySamples int
+	// SLOs are declarative objectives evaluated against the history
+	// store after every self-scrape; alert lifecycle is served at
+	// GET /v1/alerts and mirrored as tqecd_slo_* metric families.
+	// Requires HistoryInterval > 0 (ignored with a warning otherwise).
+	SLOs []tsdb.Objective
 	// Logger receives structured per-job log lines (default: text handler
 	// on stderr at info level, the same shape the tqec CLIs use).
 	Logger *slog.Logger
@@ -206,6 +225,12 @@ type Server struct {
 	rootCancel context.CancelFunc
 	started    time.Time // process uptime anchor for /healthz
 
+	// history/collector/slo are the metrics-history surface; all nil
+	// when Config.HistoryInterval is zero.
+	history   *tsdb.DB
+	collector *tsdb.Collector
+	slo       *tsdb.Engine
+
 	mu       sync.Mutex
 	jobs     map[string]*Job // guarded by mu
 	nextID   int             // guarded by mu
@@ -235,6 +260,17 @@ func New(ctx context.Context, cfg Config) *Server {
 		s.compile = cfg.Compile
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(ctx)
+	if cfg.HistoryInterval > 0 {
+		s.history = tsdb.New(cfg.HistorySamples)
+		s.collector = tsdb.NewCollector(s.history, m.reg, cfg.HistoryInterval)
+		if len(cfg.SLOs) > 0 {
+			s.slo = tsdb.NewEngine(s.history, cfg.SLOs, m.reg, cfg.Logger)
+			s.collector.AfterScrape = s.slo.Eval
+		}
+		s.collector.Start()
+	} else if len(cfg.SLOs) > 0 {
+		cfg.Logger.WarnContext(ctx, "slo objectives configured but metrics history is disabled; enable the self-scrape loop")
+	}
 	s.mux = s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -269,11 +305,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopCollector()
 		return nil
 	case <-ctx.Done():
 		s.rootCancel()
 		<-done
+		s.stopCollector()
 		return ctx.Err()
+	}
+}
+
+func (s *Server) stopCollector() {
+	if s.collector != nil {
+		s.collector.Stop()
 	}
 }
 
@@ -287,6 +331,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.rootCancel()
 	s.workers.Wait()
+	s.stopCollector()
 }
 
 // newJob registers a job in the queued state. Callers hold no locks.
@@ -490,6 +535,11 @@ func (s *Server) finishLocked(j *Job) {
 	if j.recorder != nil {
 		j.recorder.JobState(string(j.state), j.errMsg)
 		j.recorder.Close()
+		// The ring is final now: fold any silently dropped events into the
+		// daemon-wide counter so event loss is visible on /metrics.
+		if n := j.recorder.Dropped(); n > 0 {
+			s.metrics.journalDropped.Add(n)
+		}
 	}
 	j.circ = nil
 	if s.cfg.MaxFinishedJobs < 0 {

@@ -1,0 +1,170 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"tqec/internal/obs"
+)
+
+// Gatherer is the sample source a Collector scrapes. *obs.Registry
+// satisfies it.
+type Gatherer interface {
+	Gather() []obs.Sample
+}
+
+// Collector runs the self-scrape loop: every Interval it gathers the
+// source registry into the DB, then runs AfterScrape (the SLO engine's
+// Eval hooks in there). A zero or negative interval disables the loop
+// entirely — Start becomes a no-op, so an unscraped process never even
+// spawns the goroutine.
+type Collector struct {
+	DB       *DB
+	Source   Gatherer
+	Interval time.Duration
+	// AfterScrape, if non-nil, runs after every scrape with the scrape
+	// time (on the collector goroutine).
+	AfterScrape func(time.Time)
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCollector wires a collector and derives the DB's staleness gap from
+// the scrape interval (3× — one missed scrape is jitter, three is an
+// outage).
+func NewCollector(db *DB, src Gatherer, interval time.Duration) *Collector {
+	if interval > 0 {
+		db.SetStaleAfter(3 * interval)
+	}
+	return &Collector{DB: db, Source: src, Interval: interval}
+}
+
+// ScrapeOnce gathers and appends one sample set stamped t.
+func (c *Collector) ScrapeOnce(t time.Time) {
+	c.DB.AppendSamples(t, c.Source.Gather())
+	if c.AfterScrape != nil {
+		c.AfterScrape(t)
+	}
+}
+
+// Start launches the scrape goroutine (immediate first scrape, then one
+// per interval). No-op if the interval is zero or it is already running.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Interval <= 0 || c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(c.Interval)
+		defer tick.Stop()
+		c.ScrapeOnce(time.Now())
+		for {
+			select {
+			case <-c.stop:
+				return
+			case t := <-tick.C:
+				c.ScrapeOnce(t)
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for the goroutine to exit. Safe to call
+// more than once (graceful shutdown followed by a hard close).
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.stop = nil
+}
+
+type queryRangeResponse struct {
+	Frames []Frame `json:"frames"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// HandleQueryRange serves GET /v1/query_range. Parameters:
+//
+//	query  series selector: name, name*, or name{label="value",...}
+//	start  unix seconds (default end−300)
+//	end    unix seconds (default now)
+//	step   seconds (float) or Go duration; 0/absent returns raw samples
+func HandleQueryRange(db *DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sel, err := ParseSelector(r.URL.Query().Get("query"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		end, err := timeParam(r, "end", time.Now())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		start, err := timeParam(r, "start", end.Add(-5*time.Minute))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if end.Before(start) {
+			httpError(w, http.StatusBadRequest, "end before start")
+			return
+		}
+		step, err := durationParam(r, "step")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		frames := db.Query(sel, start, end, step)
+		if frames == nil {
+			frames = []Frame{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(queryRangeResponse{Frames: frames})
+	}
+}
+
+func timeParam(r *http.Request, name string, def time.Time) (time.Time, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	sec, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.UnixMilli(int64(sec * 1000)), nil
+}
+
+func durationParam(r *http.Request, name string) (time.Duration, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	if sec, err := strconv.ParseFloat(raw, 64); err == nil {
+		return time.Duration(sec * float64(time.Second)), nil
+	}
+	return time.ParseDuration(raw)
+}

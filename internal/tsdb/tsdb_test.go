@@ -1,0 +1,222 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tqec/internal/obs"
+)
+
+func ts(sec int64) time.Time { return time.Unix(1_700_000_000+sec, 0) }
+
+// TestRingEvictionOrder pins the fixed-capacity ring contract: once full,
+// the oldest sample is evicted per append and reads come back
+// oldest-first in insertion order.
+func TestRingEvictionOrder(t *testing.T) {
+	db := New(4)
+	for i := 0; i < 7; i++ {
+		db.Append("m", nil, obs.SampleGauge, ts(int64(i)), float64(i))
+	}
+	frames := db.Query(Selector{Name: "m"}, ts(0), ts(100), 0)
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	pts := frames[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want 4 (capacity)", len(pts))
+	}
+	for i, p := range pts {
+		wantV := float64(3 + i) // samples 0..2 evicted
+		wantT := ts(int64(3 + i)).UnixMilli()
+		if p.V != wantV || p.T != wantT {
+			t.Fatalf("point %d = {%d %g}, want {%d %g}", i, p.T, p.V, wantT, wantV)
+		}
+	}
+}
+
+func TestQueryWindowAndLabels(t *testing.T) {
+	db := New(16)
+	w1 := []obs.Label{{Name: "worker", Value: "w1"}}
+	w2 := []obs.Label{{Name: "worker", Value: "w2"}}
+	for i := int64(0); i < 10; i++ {
+		db.Append("tqecd_jobs_done_total", w1, obs.SampleCounter, ts(i), float64(i))
+		db.Append("tqecd_jobs_done_total", w2, obs.SampleCounter, ts(i), float64(i*2))
+	}
+	// Label-restricted query clips to [3s, 6s].
+	sel, err := ParseSelector(`tqecd_jobs_done_total{worker="w2"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := db.Query(sel, ts(3), ts(6), 0)
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	if got := len(frames[0].Points); got != 4 {
+		t.Fatalf("window points = %d, want 4", got)
+	}
+	if frames[0].Points[0].V != 6 {
+		t.Fatalf("first windowed value = %g, want 6", frames[0].Points[0].V)
+	}
+	// Prefix selector matches both series, sorted by labels.
+	frames = db.Query(Selector{Name: "tqecd_", Prefix: true}, ts(0), ts(100), 0)
+	if len(frames) != 2 {
+		t.Fatalf("prefix frames = %d, want 2", len(frames))
+	}
+	if frames[0].Labels[0].Value != "w1" || frames[1].Labels[0].Value != "w2" {
+		t.Fatalf("frames not sorted by labels: %v / %v", frames[0].Labels, frames[1].Labels)
+	}
+}
+
+func TestDownsampleSkipsGaps(t *testing.T) {
+	db := New(32)
+	// Samples at 1s..4s, then a gap, then 20s.
+	for _, sec := range []int64{1, 2, 3, 4, 20} {
+		db.Append("g", nil, obs.SampleGauge, ts(sec), float64(sec))
+	}
+	frames := db.Query(Selector{Name: "g"}, ts(0), ts(20), 5*time.Second)
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	pts := frames[0].Points
+	// Buckets (0,5], (5,10], (10,15], (15,20]: gap buckets are skipped.
+	want := []Point{
+		{T: ts(5).UnixMilli(), V: 4},
+		{T: ts(20).UnixMilli(), V: 20},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("downsampled = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestStaleMarking(t *testing.T) {
+	db := New(16)
+	db.SetStaleAfter(3 * time.Second)
+	dead := []obs.Label{{Name: "worker", Value: "dead"}}
+	live := []obs.Label{{Name: "worker", Value: "live"}}
+	db.Append("m", dead, obs.SampleGauge, ts(0), 1)
+	db.Append("m", live, obs.SampleGauge, ts(0), 1)
+	// Only the live worker keeps reporting; the store's write cursor
+	// advances past the dead worker's last sample + staleAfter.
+	for i := int64(1); i <= 10; i++ {
+		db.Append("m", live, obs.SampleGauge, ts(i), 1)
+	}
+	frames := db.Query(Selector{Name: "m"}, ts(0), ts(10), 0)
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d, want 2", len(frames))
+	}
+	byWorker := map[string]Frame{}
+	for _, f := range frames {
+		byWorker[f.Labels[0].Value] = f
+	}
+	if !byWorker["dead"].Stale {
+		t.Fatal("dead worker's series not marked stale")
+	}
+	if byWorker["live"].Stale {
+		t.Fatal("live worker's series wrongly marked stale")
+	}
+}
+
+func TestIncreaseCounterReset(t *testing.T) {
+	// 5 → 9 (+4), restart to 2 (+2), 2 → 3 (+1) = 7.
+	pts := []Point{{1, 5}, {2, 9}, {3, 2}, {4, 3}}
+	if got := Increase(pts); got != 7 {
+		t.Fatalf("Increase = %g, want 7", got)
+	}
+	if got := Increase(nil); got != 0 {
+		t.Fatalf("Increase(nil) = %g, want 0", got)
+	}
+	if got := Increase(pts[:1]); got != 0 {
+		t.Fatalf("Increase(single) = %g, want 0", got)
+	}
+}
+
+func TestSeriesBound(t *testing.T) {
+	db := New(4)
+	db.maxSeries = 2
+	db.Append("a", nil, obs.SampleGauge, ts(0), 1)
+	db.Append("b", nil, obs.SampleGauge, ts(0), 1)
+	db.Append("c", nil, obs.SampleGauge, ts(0), 1) // refused
+	n, dropped := db.Stats()
+	if n != 2 || dropped != 1 {
+		t.Fatalf("Stats = (%d, %d), want (2, 1)", n, dropped)
+	}
+}
+
+func TestParseSelectorErrors(t *testing.T) {
+	for _, bad := range []string{"", "m{", `m{worker=w1}`, `m{worker="w1"`, `m{="v"}`, "{}"} {
+		if _, err := ParseSelector(bad); err == nil {
+			t.Errorf("ParseSelector(%q) succeeded, want error", bad)
+		}
+	}
+	sel, err := ParseSelector(`m{a="x\"y", b="p\\q"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Labels[0].Value != `x"y` || sel.Labels[1].Value != `p\q` {
+		t.Fatalf("escaped values = %+v", sel.Labels)
+	}
+}
+
+func TestGatherRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("tqecd_rt_total", "rt")
+	db := New(8)
+	col := NewCollector(db, reg, time.Second)
+	c.Add(2)
+	col.ScrapeOnce(ts(0))
+	c.Add(3)
+	col.ScrapeOnce(ts(1))
+	frames := db.Query(Selector{Name: "tqecd_rt_total"}, ts(0), ts(1), 0)
+	if len(frames) != 1 || len(frames[0].Points) != 2 {
+		t.Fatalf("frames = %+v", frames)
+	}
+	if frames[0].Kind != obs.SampleCounter {
+		t.Fatalf("kind = %q", frames[0].Kind)
+	}
+	if got := Increase(frames[0].Points); got != 3 {
+		t.Fatalf("increase = %g, want 3", got)
+	}
+}
+
+func TestHandleQueryRange(t *testing.T) {
+	db := New(8)
+	db.Append("tqecd_jobs_queued", nil, obs.SampleGauge, ts(0), 1)
+	db.Append("tqecd_jobs_queued", nil, obs.SampleGauge, ts(1), 2)
+	h := HandleQueryRange(db)
+
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/query_range?query=tqecd_jobs_queued&start=1700000000&end=1700000010", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d body %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Frames []Frame `json:"frames"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Frames) != 1 || len(resp.Frames[0].Points) != 2 {
+		t.Fatalf("body = %s", rec.Body.String())
+	}
+
+	// No match → empty frames array, not null.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/query_range?query=nope", nil))
+	if body := rec.Body.String(); body != "{\"frames\":[]}\n" {
+		t.Fatalf("no-match body = %q", body)
+	}
+
+	// Bad selector → 400.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/query_range?query=m{", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad selector status = %d", rec.Code)
+	}
+}
