@@ -63,6 +63,16 @@ func (d *dashboard) renderOnce(w io.Writer) error {
 		sumSeries(frames, "tqecd_fleet_affinity_fallback_total")); len(affinity) > 0 {
 		d.row(w, "affinity hit %", affinity, lastValue(affinity, "%.0f"))
 	}
+	// Durable-store rows appear only when the daemon runs with -data-dir
+	// (the tqecd_store_* families exist only then).
+	if storeHit := ratioTrend(
+		sumSeries(frames, "tqecd_store_hits_total"),
+		sumSeries(frames, "tqecd_store_misses_total")); len(storeHit) > 0 {
+		d.row(w, "store hit %", storeHit, lastValue(storeHit, "%.0f"))
+	}
+	if storeBytes := scaleSeries(sumSeries(frames, "tqecd_store_bytes", "tqecd_store_wal_bytes"), 1.0/(1<<20)); len(storeBytes) > 0 {
+		d.row(w, "store MiB", storeBytes, lastValue(storeBytes, "%.2f"))
+	}
 
 	heap := sumSeries(frames, "go_memstats_heap_alloc_bytes")
 	goroutines := sumSeries(frames, "go_goroutines")

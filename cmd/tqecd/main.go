@@ -25,6 +25,14 @@
 //	curl -s localhost:8142/v1/alerts                         # SLO alert states
 //	tqec-top -addr localhost:8142                            # live terminal dashboard
 //
+// Durability (-data-dir) makes the daemon crash-safe: finished results
+// persist in a content-addressed on-disk store and every job's lifecycle
+// is write-ahead logged, so a restart re-queues interrupted jobs and
+// serves repeat submissions from disk:
+//
+//	tqecd -data-dir /var/lib/tqecd -store-max-bytes 2147483648
+//	curl -s localhost:8142/v1/store                          # store + WAL stats
+//
 // Fleet mode scales tqecd horizontally while keeping the wire API:
 //
 //	tqecd -role coordinator -addr :8142                          # front door
@@ -55,6 +63,7 @@ import (
 	"tqec/internal/fleet"
 	"tqec/internal/obs"
 	"tqec/internal/service"
+	"tqec/internal/store"
 	"tqec/internal/tsdb"
 )
 
@@ -64,6 +73,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
 		cacheSize  = flag.Int("cache", 256, "result-cache entries (-1 disables caching)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory result-cache byte bound (0 = entries-only bound)")
+		dataDir    = flag.String("data-dir", "", "durable storage directory: crash-safe result store + write-ahead job log with restart recovery (empty = in-memory only)")
+		storeMax   = flag.Int64("store-max-bytes", 0, "on-disk result-store byte bound before LRU GC (0 = default 1 GiB)")
 		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the request sets none")
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on requested per-job deadlines")
 		retain     = flag.Int("retain", 512, "finished jobs kept queryable before the oldest are forgotten (-1 keeps all)")
@@ -114,10 +126,27 @@ func main() {
 		}
 	}
 
+	// The durable store outlives the server: it is opened before New (so
+	// WAL replay can re-queue interrupted jobs) and closed after the
+	// drain completes (so terminal records land).
+	openStore := func(noResults bool) *store.Store {
+		if *dataDir == "" {
+			return nil
+		}
+		st, err := store.Open(*dataDir, store.Options{MaxBytes: *storeMax, NoResults: noResults})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqecd: -data-dir:", err)
+			os.Exit(2)
+		}
+		logger.Info("durable store open", "dir", *dataDir, "wal_replayed", st.WAL.Stats().Replayed)
+		return st
+	}
+
 	svcConfig := service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheEntries:     *cacheSize,
+		CacheBytes:       *cacheBytes,
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
 		MaxFinishedJobs:  *retain,
@@ -131,6 +160,8 @@ func main() {
 
 	switch *role {
 	case "standalone", "worker":
+		st := openStore(false)
+		svcConfig.Store = st
 		svc := service.New(context.Background(), svcConfig)
 		var agent *fleet.Agent
 		if *role == "worker" {
@@ -155,9 +186,14 @@ func main() {
 			if agent != nil {
 				agent.Stop()
 			}
-			return svc.Shutdown(ctx)
+			err := svc.Shutdown(ctx)
+			closeStore(st, logger)
+			return err
 		})
 	case "coordinator":
+		// A coordinator's store carries only the WAL: result payloads are
+		// cached (and persisted) worker-side.
+		st := openStore(true)
 		coord := fleet.NewCoordinator(context.Background(), fleet.Config{
 			HeartbeatInterval: *heartbeat,
 			SuspectAfter:      *suspectAge,
@@ -169,12 +205,27 @@ func main() {
 			HistoryInterval:   *selfScrape,
 			HistorySamples:    *historySamples,
 			SLOs:              objectives,
+			Store:             st,
 			Logger:            logger,
 		})
-		serve(*addr, coord.Handler(), logger, *drainGrace, coord.Shutdown)
+		serve(*addr, coord.Handler(), logger, *drainGrace, func(ctx context.Context) error {
+			err := coord.Shutdown(ctx)
+			closeStore(st, logger)
+			return err
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "tqecd: unknown role %q (standalone | coordinator | worker)\n", *role)
 		os.Exit(2)
+	}
+}
+
+// closeStore flushes and closes the durable store after the drain.
+func closeStore(st *store.Store, logger *slog.Logger) {
+	if st == nil {
+		return
+	}
+	if err := st.Close(); err != nil {
+		logger.Error("store close", "err", err)
 	}
 }
 

@@ -104,6 +104,7 @@ func (c *Coordinator) routes() *http.ServeMux {
 	mux.HandleFunc("POST /fleet/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("GET /fleet/v1/workers", c.handleWorkers)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /v1/store", c.handleStore)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /v1/query_range", c.handleQueryRange)
 	mux.HandleFunc("GET /v1/alerts", c.handleAlerts)
@@ -146,6 +147,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.metrics.jobsSubmitted.Inc()
+	// Durable before dispatchable: once the supervisor exists, a crash at
+	// any instant replays this job from its submitted record.
+	c.walSubmitted(j)
 	c.wg.Add(1)
 	go c.supervise(j)
 	c.logJob(j, "submitted", "key", key[:12])

@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tqec/internal/journal"
+	"tqec/internal/service"
+	"tqec/internal/store"
+)
+
+// The coordinator's write-ahead log mirrors the service's record
+// vocabulary with its own payloads:
+//
+//	submitted        job accepted, Data = walSubmit (the full wire-form
+//	                 request, enough to re-dispatch from scratch)
+//	terminal         job reached done/failed/canceled, Data = walTerminal
+//	cancel_requested a client DELETE landed; replay must never
+//	                 re-dispatch this job even without a terminal record
+//	next_id          Data = walNextID, the f-ID high-water mark appended
+//	                 after startup compaction
+//
+// As in the service, jobs canceled because the coordinator itself was
+// shutting down get NO terminal record: they were interrupted by the
+// process dying, and a restarted coordinator re-dispatches them through
+// the ordinary supervisor retry path. Dispatch is already at-least-once
+// (results are content-addressed and deterministic), so a replayed
+// re-dispatch of a job some worker actually finished costs at most one
+// redundant compile — usually not even that, since the worker answers
+// from its own cache.
+const (
+	walTypeSubmitted       = "submitted"
+	walTypeTerminal        = "terminal"
+	walTypeCancelRequested = "cancel_requested"
+	walTypeNextID          = "next_id"
+)
+
+// walSubmit re-dispatches a job from scratch. The original wire request
+// is stored verbatim; name and key are kept alongside so replay does
+// not depend on re-resolving sources that may have been sample-expanded.
+type walSubmit struct {
+	Name string                `json:"name"`
+	Key  string                `json:"key"`
+	Req  service.SubmitRequest `json:"req"`
+}
+
+type walTerminal struct {
+	State service.State `json:"state"`
+	Error string        `json:"error,omitempty"`
+}
+
+type walNextID struct {
+	N int `json:"n"`
+}
+
+// walAppend appends one record, best-effort: a WAL failure degrades
+// durability, never availability. Callers must NOT hold c.mu — the WAL
+// has its own lock and compaction can re-enter the coordinator through
+// its retain callback, so the only safe order is WAL lock before
+// coordinator lock.
+func (c *Coordinator) walAppend(typ, jobID string, data any) {
+	if c.store == nil {
+		return
+	}
+	if err := c.store.WAL.Append(typ, jobID, time.Now().UnixMilli(), data); err != nil {
+		c.logger.Warn("wal append failed", "type", typ, "job", jobID, "err", err)
+	}
+}
+
+// walSubmitted makes a freshly registered job durable before its
+// supervisor starts: a crash at any later instant replays it.
+func (c *Coordinator) walSubmitted(j *job) {
+	if c.store == nil {
+		return
+	}
+	c.walAppend(walTypeSubmitted, j.id, walSubmit{Name: j.name, Key: j.key, Req: j.req})
+}
+
+// recoverFromWAL replays the recovered record stream: jobs without a
+// terminal (or cancel_requested) record were queued or dispatched when
+// the previous coordinator died; each gets a fresh supervisor under its
+// original f-ID and flows through the normal route/dispatch/failover
+// machinery. Terminal jobs are forgotten (404, like retention pruning).
+//
+// Runs from NewCoordinator before the HTTP surface is reachable, so
+// replayed supervisors exist before any new submission. Workers have
+// not re-registered yet at that instant; the supervisors simply retry
+// with backoff until registrations arrive (or the attempt budget ends).
+func (c *Coordinator) recoverFromWAL() {
+	type replayState struct {
+		submit   *walSubmit
+		finished bool
+	}
+	states := map[string]*replayState{}
+	var order []string
+	maxID := 0
+	for _, rec := range c.store.WAL.Recovered() {
+		if n, ok := parseWALJobID(rec.JobID, "f"); ok && n > maxID {
+			maxID = n
+		}
+		switch rec.Type {
+		case walTypeNextID:
+			var d walNextID
+			if len(rec.Data) > 0 && json.Unmarshal(rec.Data, &d) == nil && d.N > maxID {
+				maxID = d.N
+			}
+		case walTypeSubmitted:
+			var d walSubmit
+			if len(rec.Data) > 0 && json.Unmarshal(rec.Data, &d) == nil {
+				if states[rec.JobID] == nil {
+					states[rec.JobID] = &replayState{}
+					order = append(order, rec.JobID)
+				}
+				states[rec.JobID].submit = &d
+			}
+		case walTypeTerminal, walTypeCancelRequested:
+			if states[rec.JobID] == nil {
+				states[rec.JobID] = &replayState{}
+				order = append(order, rec.JobID)
+			}
+			states[rec.JobID].finished = true
+		}
+	}
+	c.mu.Lock()
+	if maxID > c.nextID {
+		c.nextID = maxID
+	}
+	c.mu.Unlock()
+
+	live := map[string]bool{}
+	for _, id := range order {
+		st := states[id]
+		if st.finished || st.submit == nil {
+			continue
+		}
+		j := c.replayJob(id, st.submit)
+		live[id] = true
+		c.wg.Add(1)
+		go c.supervise(j)
+		c.logJob(j, "replayed", "key", j.key[:12])
+	}
+	if err := c.store.WAL.Compact(func(jobID string) bool { return live[jobID] }); err != nil {
+		c.logger.Warn("wal compaction failed", "err", err)
+	}
+	c.mu.Lock()
+	nextID := c.nextID
+	c.mu.Unlock()
+	c.walAppend(walTypeNextID, "", walNextID{N: nextID})
+	if len(live) > 0 {
+		c.logger.Info("wal replayed", "jobs", len(live))
+	}
+}
+
+// replayJob reconstructs a queued job from its submitted record under
+// its original ID, so clients polling across the restart find it again.
+// Replayed jobs run untraced: the submitter's trace ended with the old
+// process, and a headless span tree would never be fetched.
+func (c *Coordinator) replayJob(id string, w *walSubmit) *job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.Req.Trace = false
+	j := &job{
+		id:        id,
+		name:      w.Name,
+		key:       w.Key,
+		req:       w.Req,
+		submitted: time.Now(),
+		cancelCh:  make(chan struct{}),
+		state:     service.StateQueued,
+	}
+	if c.cfg.JournalEvents > 0 {
+		j.recorder = journal.NewRecorder(c.cfg.JournalEvents)
+		j.recorder.JobState(string(service.StateQueued), "")
+	}
+	c.jobs[j.id] = j
+	return j
+}
+
+// handleStore serves the durable store's live stats (WAL only on a
+// coordinator — results live on the workers).
+func (c *Coordinator) handleStore(w http.ResponseWriter, r *http.Request) {
+	if c.store == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no durable store (start with -data-dir)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.store.Stats())
+}
+
+// parseWALJobID extracts the numeric suffix of a prefix-NNNNNN job ID.
+func parseWALJobID(id, prefix string) (int, bool) {
+	num, ok := strings.CutPrefix(id, prefix)
+	if !ok || num == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// registerStore exposes the coordinator's WAL as tqecd_store_wal_*
+// families, sampled fresh on every gather. A coordinator store is
+// opened NoResults (payloads are cached worker-side), so the result
+// families only appear if a store with a results tier is ever attached.
+func (m *fleetMetrics) registerStore(st *store.Store) {
+	if r := st.Results; r != nil {
+		m.reg.GaugeFunc("tqecd_store_bytes", "On-disk bytes held by the result store.",
+			func() float64 { return float64(r.Stats().Bytes) })
+		m.reg.GaugeFunc("tqecd_store_entries", "Result files currently on disk.",
+			func() float64 { return float64(r.Stats().Entries) })
+	}
+	w := st.WAL
+	m.reg.GaugeFunc("tqecd_store_wal_records_total", "Write-ahead-log records appended since open.",
+		func() float64 { return float64(w.Stats().Records) })
+	m.reg.GaugeFunc("tqecd_store_wal_replayed_total", "Write-ahead-log records recovered and replayed at startup.",
+		func() float64 { return float64(w.Stats().Replayed) })
+	m.reg.GaugeFunc("tqecd_store_wal_truncated_total", "Corrupt or torn write-ahead-log tail records dropped at recovery.",
+		func() float64 { return float64(w.Stats().Truncated) })
+	m.reg.GaugeFunc("tqecd_store_wal_bytes", "On-disk bytes held by the write-ahead log.",
+		func() float64 { return float64(w.Stats().Bytes) })
+	m.reg.GaugeFunc("tqecd_store_wal_segments", "Write-ahead-log segment files on disk.",
+		func() float64 { return float64(w.Stats().Segments) })
+}

@@ -60,6 +60,7 @@ import (
 
 	"tqec/internal/obs"
 	"tqec/internal/service"
+	"tqec/internal/store"
 	"tqec/internal/tsdb"
 )
 
@@ -109,6 +110,12 @@ type Config struct {
 	// SLOs are burn-rate alert objectives evaluated after every scrape
 	// and served at GET /v1/alerts. Requires HistoryInterval > 0.
 	SLOs []tsdb.Objective
+	// Store is the coordinator's durable storage layer (write-ahead job
+	// log; results stay worker-side, so open it NoResults). Nil keeps the
+	// coordinator purely in-memory — bit-identical to the pre-durability
+	// behaviour. The caller owns the store and closes it after
+	// Shutdown/Close returns.
+	Store *store.Store
 	// Logger receives structured coordinator log lines (default: text
 	// handler on stderr, the shared obs shape).
 	Logger *slog.Logger
@@ -166,6 +173,7 @@ type Coordinator struct {
 	reg     *registry
 	mux     *http.ServeMux
 	logger  *slog.Logger
+	store   *store.Store
 	started time.Time
 
 	rootCtx     context.Context
@@ -191,17 +199,27 @@ type Coordinator struct {
 func NewCoordinator(ctx context.Context, cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	m := newFleetMetrics()
+	if cfg.Store != nil {
+		m.registerStore(cfg.Store)
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		metrics: m,
 		reg:     newRegistry(m, cfg.Logger, cfg.SuspectAfter, cfg.DeadAfter),
 		logger:  cfg.Logger,
+		store:   cfg.Store,
 		started: time.Now(),
 		jobs:    map[string]*job{},
 	}
 	c.rootCtx, c.rootCancel = context.WithCancel(ctx)
 	c.startHistory()
 	c.mux = c.routes()
+	// Replay the write-ahead log before the handler is reachable: jobs
+	// in flight when the previous coordinator died get supervisors again
+	// (under their original IDs) and re-dispatch once workers re-register.
+	if c.store != nil {
+		c.recoverFromWAL()
+	}
 	c.monitorDone = make(chan struct{})
 	go c.monitor()
 	return c

@@ -385,6 +385,7 @@ func (c *Coordinator) finish(j *job, state service.State, errMsg string, payload
 	j.payload = payload
 	j.finished = time.Now()
 	dur := j.finished.Sub(j.submitted)
+	cancelRequested := j.cancelRequested
 	if j.recorder != nil {
 		j.recorder.JobState(string(state), errMsg)
 		j.recorder.Close()
@@ -411,6 +412,13 @@ func (c *Coordinator) finish(j *job, state service.State, errMsg string, payload
 		c.metrics.jobsFailed.Inc()
 	}
 	c.metrics.jobSeconds.Observe(dur.Seconds())
+	// A job abandoned because the coordinator itself is dying gets NO
+	// terminal WAL record: its submitted record survives, so a restart
+	// re-dispatches it. Every deliberate outcome is recorded durably.
+	shutdownCancel := state == service.StateCanceled && !cancelRequested && c.rootCtx.Err() != nil
+	if !shutdownCancel {
+		c.walAppend(walTypeTerminal, j.id, walTerminal{State: state, Error: errMsg})
+	}
 	c.logJob(j, string(state), "total_ms", float64(dur)/float64(time.Millisecond), "err", errMsg)
 }
 
@@ -431,6 +439,11 @@ func (c *Coordinator) requestCancel(ctx context.Context, j *job) (service.State,
 	}
 	workerURL, remoteID, st := j.workerURL, j.remoteID, j.state
 	c.mu.Unlock()
+	if !alreadyRequested {
+		// Durable first: even if the process dies before the supervisor
+		// observes the cancel, replay must not resurrect this job.
+		c.walAppend(walTypeCancelRequested, j.id, nil)
+	}
 	if workerURL != "" && remoteID != "" {
 		if _, err := c.workerClient(workerURL).Cancel(ctx, remoteID); err != nil {
 			// The worker may already be gone; the supervisor's cancel

@@ -102,7 +102,18 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/query_range", s.handleQueryRange)
 	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /v1/store", s.handleStore)
 	return mux
+}
+
+// handleStore serves the durable storage layer's stats document; 404
+// when the daemon runs without a data dir (nothing is persisted then).
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no durable store (start with -data-dir)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
 // handleQueryRange serves metrics history from the self-scrape store;
@@ -177,6 +188,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := s.newJob(name, key, c, opt, seeds, req.Options.Parallel, timeout, req.NoCache, req.Trace,
 		traceCtx, r.Header.Get(obs.RequestIDHeader))
 	s.metrics.jobsSubmitted.Inc()
+	// Durable before runnable: the submitted record reaches the WAL
+	// before the job can enter the queue, so a crash at any later moment
+	// replays it.
+	s.walSubmitted(j, req.Options)
 
 	// Content-addressed fast path: an identical compile already ran, so
 	// the job completes instantly with the cached payload (re-labelled
@@ -184,23 +199,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// trace is the point, and a cached answer has none.
 	if !req.NoCache && !req.Trace {
 		if p, ok := s.cache.Get(key); ok {
-			s.mu.Lock()
-			pp := *p
-			pp.Name = name
-			pp.Report.Name = name
-			j.payload = &pp
-			j.cached = true
-			j.state = StateDone
-			// No compile ran: both stamps are "now" so the status reports
-			// RunMS=0 rather than inventing a run time.
-			now := time.Now()
-			j.started = now
-			j.finished = now
-			s.finishLocked(j)
-			s.mu.Unlock()
-			// Disjoint from jobsDone: a cache replay ran no compile, so it
-			// counts only here (see TestDoneCountersDisjoint).
-			s.metrics.jobsDoneCached.Inc()
+			s.finishCached(j, p)
 			s.log(j, "done", "cached", true)
 			writeJSON(w, http.StatusOK, s.status(j))
 			return
@@ -215,6 +214,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.finishLocked(j)
 		s.mu.Unlock()
 		s.metrics.jobsRejected.Inc()
+		s.walTerminalFor(j, StateFailed, false, j.errMsg)
 		s.log(j, "rejected")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "queue full or service draining"})
 		return

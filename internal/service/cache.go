@@ -1,16 +1,18 @@
 package service
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
 	"tqec/internal/obs"
+	"tqec/internal/store"
 )
 
 // CacheKey content-addresses one compile: the SHA-256 of the normalized
@@ -49,29 +51,39 @@ func CacheKey(c *circuit.Circuit, opt compress.Options, seeds []int64) (string, 
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// resultCache is a bounded LRU over finished result payloads, keyed by
-// CacheKey. It stores the serializable payload rather than the full
-// *compress.Result so a cache entry's footprint is a few kilobytes, not
-// the whole artifact bundle.
+// resultCache is the in-memory LRU over finished result payloads, keyed
+// by CacheKey and bounded by entry count and (optionally) by the summed
+// serialized payload size — the same store.ByteLRU accounting the
+// on-disk GC uses. When a durable result store is attached the cache
+// reads through to it (a warm restart serves done_cached from disk) and
+// writes through on every insert.
 type resultCache struct {
-	mu      sync.Mutex
-	max     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
+	max      int   // <= 0 disables the cache entirely
+	maxBytes int64 // <= 0: no byte bound
+	disk     *store.Results
+	logger   *slog.Logger
+
+	mu       sync.Mutex
+	lru      *store.ByteLRU
+	payloads map[string]*ResultPayload
 
 	hits, misses, evictions *obs.Counter
 }
 
-type cacheEntry struct {
-	key     string
-	payload *ResultPayload
-}
-
-func newResultCache(max int, m *metrics) *resultCache {
+func newResultCache(max int, maxBytes int64, disk *store.Results, logger *slog.Logger, m *metrics) *resultCache {
+	if max <= 0 {
+		// Caching disabled: the disk store is not consulted either, so
+		// -cache -1 keeps today's compile-every-time semantics even with a
+		// data dir attached.
+		disk = nil
+	}
 	return &resultCache{
 		max:       max,
-		order:     list.New(),
-		entries:   map[string]*list.Element{},
+		maxBytes:  maxBytes,
+		disk:      disk,
+		logger:    logger,
+		lru:       store.NewByteLRU(max, maxBytes),
+		payloads:  map[string]*ResultPayload{},
 		hits:      m.cacheHits,
 		misses:    m.cacheMisses,
 		evictions: m.cacheEvictions,
@@ -79,45 +91,75 @@ func newResultCache(max int, m *metrics) *resultCache {
 }
 
 // Get returns the cached payload for key, promoting it to most recently
-// used, and records the hit or miss.
+// used, and records the hit or miss. A memory miss falls through to the
+// durable result store when one is attached; a disk hit is re-admitted
+// to the memory tier so repeat lookups stay off the filesystem.
 func (rc *resultCache) Get(key string) (*ResultPayload, bool) {
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	el, ok := rc.entries[key]
-	if !ok {
-		rc.misses.Inc()
-		return nil, false
+	if p, ok := rc.payloads[key]; ok {
+		rc.lru.Touch(key)
+		rc.mu.Unlock()
+		rc.hits.Inc()
+		return p, true
 	}
-	rc.order.MoveToFront(el)
-	rc.hits.Inc()
-	return el.Value.(*cacheEntry).payload, true
+	rc.mu.Unlock()
+	if rc.disk != nil {
+		if raw, ok := rc.disk.Get(key); ok {
+			var p ResultPayload
+			if err := json.Unmarshal(raw, &p); err == nil {
+				rc.admit(key, &p, int64(len(raw)))
+				rc.hits.Inc()
+				return &p, true
+			}
+			rc.logger.Warn("result store entry undecodable", "key", key[:12])
+		}
+	}
+	rc.misses.Inc()
+	return nil, false
 }
 
-// Put inserts (or refreshes) a payload and evicts the least recently used
-// entries beyond the bound.
+// Put inserts (or refreshes) a payload, evicts beyond the bounds, and
+// writes through to the durable store. A disk write failure degrades
+// durability, not availability: it is logged and the in-memory entry
+// stands.
 func (rc *resultCache) Put(key string, p *ResultPayload) {
 	if rc.max <= 0 {
 		return
 	}
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if el, ok := rc.entries[key]; ok {
-		el.Value.(*cacheEntry).payload = p
-		rc.order.MoveToFront(el)
+	raw, err := json.Marshal(p)
+	if err != nil {
+		rc.logger.Warn("result payload unmarshalable, not cached", "key", key[:12], "err", err)
 		return
 	}
-	rc.entries[key] = rc.order.PushFront(&cacheEntry{key: key, payload: p})
-	for rc.order.Len() > rc.max {
-		last := rc.order.Back()
-		rc.order.Remove(last)
-		delete(rc.entries, last.Value.(*cacheEntry).key)
+	rc.admit(key, p, int64(len(raw)))
+	if rc.disk != nil {
+		if err := rc.disk.Put(key, raw); err != nil {
+			rc.logger.Warn("result store write failed", "key", key[:12], "err", err)
+		}
+	}
+}
+
+// admit installs a payload in the memory tier, applying LRU evictions.
+func (rc *resultCache) admit(key string, p *ResultPayload, size int64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.payloads[key] = p
+	for _, ev := range rc.lru.Add(key, size) {
+		delete(rc.payloads, ev.Key)
 		rc.evictions.Inc()
 	}
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of in-memory cached entries.
 func (rc *resultCache) Len() int {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	return rc.order.Len()
+	return rc.lru.Len()
+}
+
+// Bytes returns the summed serialized size of the in-memory entries.
+func (rc *resultCache) Bytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lru.Bytes()
 }

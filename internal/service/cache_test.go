@@ -7,6 +7,7 @@ import (
 
 	"tqec/internal/circuit"
 	"tqec/internal/compress"
+	"tqec/internal/obs"
 	"tqec/internal/revlib"
 )
 
@@ -105,7 +106,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 
 func TestResultCacheLRUEviction(t *testing.T) {
 	m := newMetrics()
-	rc := newResultCache(2, m)
+	rc := newResultCache(2, 0, nil, obs.NopLogger(), m)
 	pay := func(i int) *ResultPayload { return &ResultPayload{Name: fmt.Sprintf("p%d", i)} }
 
 	rc.Put("a", pay(1))
@@ -133,7 +134,7 @@ func TestResultCacheLRUEviction(t *testing.T) {
 
 func TestResultCacheRefreshKeepsSingleEntry(t *testing.T) {
 	m := newMetrics()
-	rc := newResultCache(2, m)
+	rc := newResultCache(2, 0, nil, obs.NopLogger(), m)
 	rc.Put("a", &ResultPayload{Name: "old"})
 	rc.Put("a", &ResultPayload{Name: "new"})
 	if rc.Len() != 1 {

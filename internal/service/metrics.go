@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tqec/internal/obs"
+	"tqec/internal/store"
 )
 
 // metrics is the service-wide observability surface, built on the obs
@@ -114,6 +115,41 @@ func newMetrics() *metrics {
 		jobQueueSeconds: reg.Histogram("tqecd_job_queue_seconds", "Seconds a job waited in the queue before a worker picked it up.", secondsBounds),
 		jobRunSeconds:   reg.Histogram("tqecd_job_run_seconds", "Seconds a job spent running, pickup to terminal state (any outcome).", secondsBounds),
 	}
+}
+
+// registerStore exposes the durable storage layer as tqecd_store_*
+// metric families, sampled from the store's own counters on every
+// gather — the families flow into the Prometheus exposition, the
+// /metrics JSON, and the self-scrape history (so tqec-top sees them)
+// without the store importing obs.
+func (m *metrics) registerStore(st *store.Store) {
+	if r := st.Results; r != nil {
+		m.reg.GaugeFunc("tqecd_store_hits_total", "Result-store reads served from disk.",
+			func() float64 { return float64(r.Stats().Hits) })
+		m.reg.GaugeFunc("tqecd_store_misses_total", "Result-store reads that found nothing on disk.",
+			func() float64 { return float64(r.Stats().Misses) })
+		m.reg.GaugeFunc("tqecd_store_writes_total", "Result payloads written through to disk.",
+			func() float64 { return float64(r.Stats().Writes) })
+		m.reg.GaugeFunc("tqecd_store_gc_evictions_total", "Result files evicted by the byte-bounded LRU GC.",
+			func() float64 { return float64(r.Stats().GCEvictions) })
+		m.reg.GaugeFunc("tqecd_store_corrupt_total", "Result files quarantined after failing CRC or envelope checks.",
+			func() float64 { return float64(r.Stats().Corrupt) })
+		m.reg.GaugeFunc("tqecd_store_entries", "Result files currently on disk.",
+			func() float64 { return float64(r.Stats().Entries) })
+		m.reg.GaugeFunc("tqecd_store_bytes", "On-disk bytes held by the result store.",
+			func() float64 { return float64(r.Stats().Bytes) })
+	}
+	w := st.WAL
+	m.reg.GaugeFunc("tqecd_store_wal_records_total", "Write-ahead-log records appended since open.",
+		func() float64 { return float64(w.Stats().Records) })
+	m.reg.GaugeFunc("tqecd_store_wal_replayed_total", "Write-ahead-log records recovered and replayed at startup.",
+		func() float64 { return float64(w.Stats().Replayed) })
+	m.reg.GaugeFunc("tqecd_store_wal_truncated_total", "Corrupt or torn write-ahead-log tail records dropped at recovery.",
+		func() float64 { return float64(w.Stats().Truncated) })
+	m.reg.GaugeFunc("tqecd_store_wal_bytes", "On-disk bytes held by the write-ahead log.",
+		func() float64 { return float64(w.Stats().Bytes) })
+	m.reg.GaugeFunc("tqecd_store_wal_segments", "Write-ahead-log segment files on disk.",
+		func() float64 { return float64(w.Stats().Segments) })
 }
 
 func (m *metrics) observeStage(name string, d time.Duration) {

@@ -47,6 +47,7 @@ import (
 	"tqec/internal/drc"
 	"tqec/internal/journal"
 	"tqec/internal/obs"
+	"tqec/internal/store"
 	"tqec/internal/tsdb"
 )
 
@@ -58,8 +59,20 @@ type Config struct {
 	// 503 (default 64).
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 256; negative
-	// disables caching).
+	// disables caching, including the durable result store's read path).
 	CacheEntries int
+	// CacheBytes additionally bounds the in-memory result cache by the
+	// summed serialized payload size (0 = no byte bound). The accounting
+	// is shared with the on-disk store's GC (store.ByteLRU).
+	CacheBytes int64
+	// Store, when non-nil, is the durable storage layer: finished results
+	// are written through to its content-addressed store (and served from
+	// it across restarts as done_cached), and every job lifecycle
+	// transition lands in its write-ahead log, replayed by New so jobs
+	// queued or running at crash time are re-queued under their original
+	// IDs. The caller owns the store and closes it after Shutdown/Close.
+	// Nil keeps today's in-memory-only behavior, bit-identical.
+	Store *store.Store
 	// DefaultTimeout applies to jobs that do not set one (default 5m).
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps requested deadlines (default 30m).
@@ -218,6 +231,7 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 	cache   *resultCache
+	store   *store.Store // nil without a data dir
 	mux     *http.ServeMux
 	compile CompileFunc
 
@@ -247,10 +261,16 @@ type Server struct {
 func New(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := newMetrics()
+	var disk *store.Results
+	if cfg.Store != nil {
+		disk = cfg.Store.Results
+		m.registerStore(cfg.Store)
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
-		cache:   newResultCache(cfg.CacheEntries, m),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes, disk, cfg.Logger, m),
+		store:   cfg.Store,
 		jobs:    map[string]*Job{},
 		queue:   make(chan *Job, cfg.QueueDepth),
 		compile: compress.CompileBestContext,
@@ -272,6 +292,12 @@ func New(ctx context.Context, cfg Config) *Server {
 		cfg.Logger.WarnContext(ctx, "slo objectives configured but metrics history is disabled; enable the self-scrape loop")
 	}
 	s.mux = s.routes()
+	// Replay the write-ahead log before any worker starts: jobs queued or
+	// running when the previous process died re-enter the queue (under
+	// their original IDs) ahead of every new submission.
+	if s.store != nil {
+		s.recoverFromWAL()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -422,6 +448,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.mu.Unlock()
 	defer cancel()
+	s.walAppend(walTypeStarted, j.ID, nil)
 
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
@@ -437,7 +464,6 @@ func (s *Server) runJob(j *Job) {
 	j.tracer.Finish()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.profile = profile
 	j.finished = time.Now()
 	j.cancel = nil
@@ -476,9 +502,6 @@ func (s *Server) runJob(j *Job) {
 		j.state = StateDone
 		j.journal = res.Journal
 		j.payload = s.buildPayload(j, res)
-		if !j.noCache && !interrupted {
-			s.cache.Put(j.Key, j.payload)
-		}
 		s.metrics.jobsDone.Inc()
 		s.metrics.compile.ObserveDuration(runDur)
 		for _, st := range res.StageTimes {
@@ -490,6 +513,24 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.metrics.jobRunSeconds.Observe(runDur.Seconds())
 	s.finishLocked(j)
+	state, cached, errMsg, payload := j.state, j.cached, j.errMsg, j.payload
+	// A job aborted because the server itself is dying gets NO terminal
+	// WAL record: its submitted record survives, so a restart replays it.
+	// Every deliberate outcome — done, failed, a client's cancel — is
+	// recorded durably.
+	shutdownCancel := state == StateCanceled && !j.cancelRequested && s.rootCtx.Err() != nil
+	s.mu.Unlock()
+
+	// Cache insertion (and its durable write-through) happens outside the
+	// server lock: disk latency must not stall the job table. A partial
+	// (interrupted) sweep is never admitted — the key promises the full
+	// deterministic seed-set answer, and a partial result is not it.
+	if state == StateDone && !j.noCache && !interrupted {
+		s.cache.Put(j.Key, payload)
+	}
+	if !shutdownCancel {
+		s.walTerminalFor(j, state, cached, errMsg)
+	}
 }
 
 // recordPipeline folds the best-seed result of a completed compile into
@@ -569,7 +610,6 @@ func (s *Server) buildPayload(j *Job, res *compress.Result) *ResultPayload {
 // after the request; ok is false when the job was already terminal.
 func (s *Server) cancelJob(j *Job) (State, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch j.state {
 	case StateQueued:
 		// The worker will observe the state change and skip the job.
@@ -579,17 +619,26 @@ func (s *Server) cancelJob(j *Job) (State, bool) {
 		j.finished = time.Now()
 		s.metrics.jobsCanceled.Inc()
 		s.finishLocked(j)
+		s.mu.Unlock()
+		s.walTerminalFor(j, StateCanceled, false, "canceled")
 		s.log(j, "canceled", "while", "queued")
 		return StateCanceled, true
 	case StateRunning:
 		j.cancelRequested = true
-		if j.cancel != nil {
-			j.cancel()
+		cancel := j.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
 		}
+		// Durable intent: even if the compile (or the whole process) dies
+		// before the cancel lands, replay must never resurrect this job.
+		s.walAppend(walTypeCancelRequested, j.ID, nil)
 		s.log(j, "cancel-requested", "while", "running")
 		return StateRunning, true
 	default:
-		return j.state, false
+		st := j.state
+		s.mu.Unlock()
+		return st, false
 	}
 }
 

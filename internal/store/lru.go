@@ -1,0 +1,106 @@
+package store
+
+import "container/list"
+
+// Eviction is one entry pushed out of a ByteLRU by its bounds.
+type Eviction struct {
+	Key  string
+	Size int64
+}
+
+// ByteLRU is the shared size-accounting core of the result caches: it
+// tracks recency and byte footprint for a set of keyed entries and
+// evicts least-recently-used entries past an entry-count or byte bound.
+// It stores no values — callers keep their own key→value map (an
+// in-memory payload map, or files on disk) and apply the returned
+// evictions to it. ByteLRU is not internally locked; callers serialize
+// access under their own mutex.
+type ByteLRU struct {
+	maxEntries int        // <= 0: unbounded by count
+	maxBytes   int64      // <= 0: unbounded by size
+	order      *list.List // front = most recently used
+	entries    map[string]*list.Element
+	bytes      int64
+}
+
+type lruEntry struct {
+	key  string
+	size int64
+}
+
+// NewByteLRU builds an empty LRU with the given bounds; zero or negative
+// bounds are unlimited in that dimension.
+func NewByteLRU(maxEntries int, maxBytes int64) *ByteLRU {
+	return &ByteLRU{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		entries:    map[string]*list.Element{},
+	}
+}
+
+// Add inserts or refreshes key at the given size, promotes it to most
+// recently used, and returns the entries evicted to restore the bounds.
+// The just-added key is never evicted, even when it alone exceeds the
+// byte bound — the caller decided to admit it.
+func (l *ByteLRU) Add(key string, size int64) []Eviction {
+	if el, ok := l.entries[key]; ok {
+		e := el.Value.(*lruEntry)
+		l.bytes += size - e.size
+		e.size = size
+		l.order.MoveToFront(el)
+	} else {
+		l.entries[key] = l.order.PushFront(&lruEntry{key: key, size: size})
+		l.bytes += size
+	}
+	var out []Eviction
+	for l.order.Len() > 1 &&
+		((l.maxEntries > 0 && l.order.Len() > l.maxEntries) ||
+			(l.maxBytes > 0 && l.bytes > l.maxBytes)) {
+		out = append(out, l.removeElement(l.order.Back()))
+	}
+	return out
+}
+
+// Touch promotes key to most recently used; false when absent.
+func (l *ByteLRU) Touch(key string) bool {
+	el, ok := l.entries[key]
+	if ok {
+		l.order.MoveToFront(el)
+	}
+	return ok
+}
+
+// Remove drops key, returning its recorded size; ok is false when the
+// key was absent.
+func (l *ByteLRU) Remove(key string) (int64, bool) {
+	el, ok := l.entries[key]
+	if !ok {
+		return 0, false
+	}
+	ev := l.removeElement(el)
+	return ev.Size, true
+}
+
+func (l *ByteLRU) removeElement(el *list.Element) Eviction {
+	e := el.Value.(*lruEntry)
+	l.order.Remove(el)
+	delete(l.entries, e.key)
+	l.bytes -= e.size
+	return Eviction{Key: e.key, Size: e.size}
+}
+
+// Len is the tracked entry count.
+func (l *ByteLRU) Len() int { return l.order.Len() }
+
+// Bytes is the summed size of every tracked entry.
+func (l *ByteLRU) Bytes() int64 { return l.bytes }
+
+// Keys returns every tracked key, most recently used first.
+func (l *ByteLRU) Keys() []string {
+	out := make([]string, 0, l.order.Len())
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestByteLRUEntryBound(t *testing.T) {
+	l := NewByteLRU(2, 0)
+	if ev := l.Add("a", 10); len(ev) != 0 {
+		t.Fatalf("unexpected evictions %v", ev)
+	}
+	l.Add("b", 20)
+	ev := l.Add("c", 30)
+	if !reflect.DeepEqual(ev, []Eviction{{Key: "a", Size: 10}}) {
+		t.Fatalf("evictions = %v, want a", ev)
+	}
+	if l.Len() != 2 || l.Bytes() != 50 {
+		t.Errorf("len=%d bytes=%d, want 2/50", l.Len(), l.Bytes())
+	}
+}
+
+func TestByteLRUByteBound(t *testing.T) {
+	l := NewByteLRU(0, 100)
+	l.Add("a", 40)
+	l.Add("b", 40)
+	ev := l.Add("c", 40)
+	if !reflect.DeepEqual(ev, []Eviction{{Key: "a", Size: 40}}) {
+		t.Fatalf("evictions = %v, want a", ev)
+	}
+	// Touching b makes c the eventual victim.
+	if !l.Touch("b") {
+		t.Fatal("Touch b failed")
+	}
+	ev = l.Add("d", 40)
+	if !reflect.DeepEqual(ev, []Eviction{{Key: "c", Size: 40}}) {
+		t.Fatalf("evictions = %v, want c", ev)
+	}
+	if got := l.Keys(); !reflect.DeepEqual(got, []string{"d", "b"}) {
+		t.Errorf("Keys = %v", got)
+	}
+}
+
+func TestByteLRUOversizedEntryAdmitted(t *testing.T) {
+	l := NewByteLRU(0, 100)
+	l.Add("small", 10)
+	// An entry alone over the bound evicts everything else but stays.
+	ev := l.Add("huge", 500)
+	if !reflect.DeepEqual(ev, []Eviction{{Key: "small", Size: 10}}) {
+		t.Fatalf("evictions = %v", ev)
+	}
+	if l.Len() != 1 || l.Bytes() != 500 {
+		t.Errorf("len=%d bytes=%d, want 1/500", l.Len(), l.Bytes())
+	}
+}
+
+func TestByteLRUResizeAndRemove(t *testing.T) {
+	l := NewByteLRU(0, 0)
+	l.Add("a", 10)
+	l.Add("a", 25) // refresh with a new size
+	if l.Bytes() != 25 || l.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d after resize", l.Bytes(), l.Len())
+	}
+	size, ok := l.Remove("a")
+	if !ok || size != 25 {
+		t.Fatalf("Remove = %d, %v", size, ok)
+	}
+	if _, ok := l.Remove("a"); ok {
+		t.Error("double Remove succeeded")
+	}
+	if l.Bytes() != 0 || l.Len() != 0 {
+		t.Errorf("bytes=%d len=%d after remove", l.Bytes(), l.Len())
+	}
+}

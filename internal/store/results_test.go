@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testKey builds a plausible 64-hex-digit cache key with a recognizable
+// prefix so shard paths are exercised the way real SHA-256 keys are.
+func testKey(n int) string {
+	return fmt.Sprintf("%02x", n) + strings.Repeat("0", 62)
+}
+
+func openTestResults(t *testing.T, dir string, maxBytes int64) *Results {
+	t.Helper()
+	r, err := OpenResults(dir, maxBytes)
+	if err != nil {
+		t.Fatalf("OpenResults: %v", err)
+	}
+	return r
+}
+
+func TestResultsPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestResults(t, dir, 0)
+	key := testKey(0xab)
+	payload := []byte(`{"name":"threecnot","volume":42}`)
+	if err := r.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := r.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	// The file must live in the two-hex-digit shard directory.
+	if _, err := os.Stat(filepath.Join(dir, "ab", key+".json")); err != nil {
+		t.Errorf("sharded file missing: %v", err)
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Writes != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, ok := r.Get(testKey(0xcd)); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	if got := r.Stats().Misses; got != 1 {
+		t.Errorf("Misses = %d, want 1", got)
+	}
+}
+
+func TestResultsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestResults(t, dir, 0)
+	key := testKey(1)
+	if err := r.Put(key, []byte(`{"v":1}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	r.close()
+
+	r2 := openTestResults(t, dir, 0)
+	if got, ok := r2.Get(key); !ok || !bytes.Equal(got, []byte(`{"v":1}`)) {
+		t.Fatalf("after reopen Get = %q, %v", got, ok)
+	}
+	if got := r2.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	if r2.Bytes() <= 0 {
+		t.Errorf("Bytes = %d, want > 0", r2.Bytes())
+	}
+}
+
+// TestResultsCorruptCRCQuarantined is the corruption satellite: a
+// flipped payload byte must read as a miss, move the file aside with a
+// .corrupt suffix, and never panic.
+func TestResultsCorruptCRCQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestResults(t, dir, 0)
+	key := testKey(0xab)
+	if err := r.Put(key, []byte(`{"name":"threecnot"}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := filepath.Join(dir, "ab", key+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Flip one byte inside the payload's value region so the envelope
+	// still parses but the CRC no longer matches.
+	i := bytes.Index(b, []byte("threecnot"))
+	if i < 0 {
+		t.Fatal("payload text not found in envelope")
+	}
+	b[i] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	if _, ok := r.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt original still in place: %v", err)
+	}
+	st := r.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want corrupt=1 misses=1", st)
+	}
+	// The key is re-writable after quarantine.
+	if err := r.Put(key, []byte(`{"name":"threecnot"}`)); err != nil {
+		t.Fatalf("Put after quarantine: %v", err)
+	}
+	if _, ok := r.Get(key); !ok {
+		t.Error("re-written entry missed")
+	}
+}
+
+func TestResultsGCEvictsLRUByBytes(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("x", 200))
+	wrapped := `{"p":"` + string(payload) + `"}`
+	// Envelope overhead ≈ 100 bytes; bound the store to about two entries.
+	r := openTestResults(t, dir, 700)
+	for i := 1; i <= 3; i++ {
+		if err := r.Put(testKey(i), []byte(wrapped)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if got := r.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2 after GC", got)
+	}
+	if _, ok := r.Get(testKey(1)); ok {
+		t.Error("oldest entry survived GC")
+	}
+	st := r.Stats()
+	if st.GCEvictions != 1 {
+		t.Errorf("GCEvictions = %d, want 1", st.GCEvictions)
+	}
+	if st.Bytes > 700 {
+		t.Errorf("Bytes = %d, want <= bound", st.Bytes)
+	}
+}
+
+// TestResultsGCOrderSurvivesReopen: touching an old entry, then closing
+// and reopening, must protect it from the next GC — the access-time
+// index, not file mtime, drives the eviction order.
+func TestResultsGCOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	wrapped := `{"p":"` + strings.Repeat("x", 200) + `"}`
+	r := openTestResults(t, dir, 700)
+	if err := r.Put(testKey(1), []byte(wrapped)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(testKey(2), []byte(wrapped)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := r.Get(testKey(1)); !ok {
+		t.Fatal("Get 1 missed")
+	}
+	r.close()
+
+	r2 := openTestResults(t, dir, 700)
+	if err := r2.Put(testKey(3), []byte(wrapped)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.Get(testKey(1)); !ok {
+		t.Error("recently touched entry evicted — index order lost")
+	}
+	if _, ok := r2.Get(testKey(2)); ok {
+		t.Error("LRU victim survived")
+	}
+}
+
+func TestStoreOpenCloseAndStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if s.Results == nil {
+		t.Fatal("Results nil without NoResults")
+	}
+	if err := s.WAL.Append("submitted", "j000001", 1, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	st := s.Stats()
+	if st.Dir != dir || st.Results == nil || st.WAL.Records != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	coord, err := Open(dir, Options{NoResults: true})
+	if err != nil {
+		t.Fatalf("Open NoResults: %v", err)
+	}
+	defer coord.Close()
+	if coord.Results != nil {
+		t.Error("Results non-nil with NoResults")
+	}
+	if got := coord.Stats().Results; got != nil {
+		t.Error("Stats.Results non-nil with NoResults")
+	}
+	if got := len(coord.WAL.Recovered()); got != 1 {
+		t.Errorf("recovered %d records, want 1", got)
+	}
+}
